@@ -1,0 +1,172 @@
+// Command mie-bench regenerates every table and figure of the paper's
+// evaluation section (§VII) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	mie-bench [-scale quick|default|paper] [-experiment all|table1|table2|fig2|fig3|fig4|fig5|fig6|table3|attack|ablations]
+//
+// The default scale runs the whole suite in minutes on a laptop by shrinking
+// workloads ~10x; -scale paper restores the published sizes (expect the
+// Hom-MSSE runs to take a very long time — on the paper's tablet they
+// drained the battery).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mie/internal/device"
+	"mie/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "workload scale: quick, default, paper-sample, or paper")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig2, fig3, fig4, fig5, fig6, table3, attack, ablations")
+	flag.Parse()
+	if err := run(*scale, *experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "mie-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, experiment string) error {
+	var cfg experiments.Config
+	switch scale {
+	case "quick":
+		cfg = experiments.Quick()
+	case "default":
+		cfg = experiments.Default()
+	case "paper":
+		cfg = experiments.PaperScale()
+	case "paper-sample":
+		cfg = experiments.PaperSample()
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	want := func(name string) bool {
+		return experiment == "all" || strings.EqualFold(experiment, name)
+	}
+	ran := false
+	out := os.Stdout
+
+	if want("table1") {
+		ran = true
+		scaling, err := experiments.Table1Empirical(cfg)
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		experiments.WriteTable1Report(out, experiments.Table1Static(), scaling)
+		fmt.Fprintln(out)
+	}
+	if want("table2") {
+		ran = true
+		rows, err := experiments.Table2(cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("table2: %w", err)
+		}
+		experiments.WriteTable2Report(out, rows)
+		fmt.Fprintln(out)
+	}
+	var mobileRows []experiments.UpdateRow
+	if want("fig2") || want("fig6") {
+		var err error
+		if mobileRows, err = experiments.UpdateExperiment(device.Mobile, cfg); err != nil {
+			return fmt.Errorf("fig2/fig6: %w", err)
+		}
+	}
+	if want("fig2") {
+		ran = true
+		experiments.WriteUpdateReport(out, "Figure 2: update performance, mobile device", mobileRows)
+		fmt.Fprintln(out)
+	}
+	if want("fig3") {
+		ran = true
+		rows, err := experiments.UpdateExperiment(device.Desktop, cfg)
+		if err != nil {
+			return fmt.Errorf("fig3: %w", err)
+		}
+		experiments.WriteUpdateReport(out, "Figure 3: update performance, desktop device", rows)
+		fmt.Fprintln(out)
+	}
+	if want("fig4") {
+		ran = true
+		rows, err := experiments.MultiUserExperiment(cfg)
+		if err != nil {
+			return fmt.Errorf("fig4: %w", err)
+		}
+		experiments.WriteMultiUserReport(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("fig5") {
+		ran = true
+		rows, err := experiments.SearchExperiment(cfg)
+		if err != nil {
+			return fmt.Errorf("fig5: %w", err)
+		}
+		experiments.WriteSearchReport(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("fig6") {
+		ran = true
+		experiments.WriteEnergyReport(out, mobileRows, device.Mobile.BatteryCapacityMAh)
+		fmt.Fprintln(out)
+	}
+	if want("table3") {
+		ran = true
+		rows, err := experiments.PrecisionExperiment(cfg)
+		if err != nil {
+			return fmt.Errorf("table3: %w", err)
+		}
+		experiments.WritePrecisionReport(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("attack") {
+		ran = true
+		rows, err := experiments.AttackExperiment(cfg)
+		if err != nil {
+			return fmt.Errorf("attack: %w", err)
+		}
+		experiments.WriteAttackReport(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("ablations") {
+		ran = true
+		if rows, err := experiments.AblationEncodingSize(cfg); err != nil {
+			return fmt.Errorf("ablation encoding-size: %w", err)
+		} else {
+			experiments.WriteAblationReport(out, "Dense-DPE encoding size M (mAP)", rows)
+		}
+		if rows, err := experiments.AblationThreshold(cfg); err != nil {
+			return fmt.Errorf("ablation threshold: %w", err)
+		} else {
+			experiments.WriteAblationReport(out, "Dense-DPE threshold t (mAP; the security/utility dial)", rows)
+		}
+		if rows, err := experiments.AblationTrainingSpace(cfg); err != nil {
+			return fmt.Errorf("ablation training-space: %w", err)
+		} else {
+			experiments.WriteAblationReport(out, "training space: plaintext-Euclidean vs encoded-Hamming (mAP)", rows)
+		}
+		dir, err := os.MkdirTemp("", "mie-champ-*")
+		if err != nil {
+			return err
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		if rows, err := experiments.AblationChampionSize(cfg, dir); err != nil {
+			return fmt.Errorf("ablation champion-size: %w", err)
+		} else {
+			experiments.WriteAblationReport(out, "champion list size R (P@10 vs unbounded index)", rows)
+		}
+		if rows, err := experiments.AblationFusion(cfg); err != nil {
+			return fmt.Errorf("ablation fusion: %w", err)
+		} else {
+			experiments.WriteAblationReport(out, "rank fusion method (AP on topic query)", rows)
+		}
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+// Command mie-client is a small CLI for driving an MIE server: generate and
+// store repository keys, create repositories, add/search/fetch/remove
+// multimodal objects. It demonstrates the full trust model: all encryption
+// and encoding happens here; the server only ever sees ciphertexts, tokens
+// and encodings.
+//
+// Usage:
+//
+//	mie-client -server host:7709 -key repo.key keygen
+//	mie-client -server host:7709 -key repo.key create photos
+//	mie-client -server host:7709 -key repo.key add photos obj1 notes.txt [photo.pgm]
+//	mie-client -server host:7709 -key repo.key train photos
+//	mie-client -server host:7709 -key repo.key search photos "beach sunset"
+//	mie-client -server host:7709 -key repo.key -image query.pgm search photos "beach"
+//	mie-client -server host:7709 -key repo.key get photos obj1
+//	mie-client -server host:7709 -key repo.key remove photos obj1
+//
+// For simplicity the CLI derives per-object data keys from the repository
+// key; applications wanting fine-grained access control supply their own.
+package main
+
+import (
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mie"
+	"mie/internal/crypto"
+	"mie/internal/imaging"
+)
+
+func main() {
+	serverAddr := flag.String("server", "127.0.0.1:7709", "MIE server address")
+	keyFile := flag.String("key", "repo.key", "repository key file")
+	k := flag.Int("k", 10, "number of search results")
+	imagePath := flag.String("image", "", "PGM image for query-by-example searches")
+	flag.Parse()
+	if err := run(*serverAddr, *keyFile, *k, *imagePath, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "mie-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(serverAddr, keyFile string, k int, imagePath string, args []string) error {
+	if len(args) == 0 {
+		return errors.New("missing command (keygen|create|add|train|search|get|remove)")
+	}
+	cmd, args := args[0], args[1:]
+
+	if cmd == "keygen" {
+		key, err := mie.NewRepositoryKey()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(keyFile, []byte(hex.EncodeToString(key.Master[:])), 0o600); err != nil {
+			return fmt.Errorf("write key file: %w", err)
+		}
+		fmt.Printf("repository key written to %s — share it with authorized users\n", keyFile)
+		return nil
+	}
+
+	key, err := loadKey(keyFile)
+	if err != nil {
+		return err
+	}
+	client, err := mie.NewClient(mie.ClientConfig{Key: key})
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("%s: missing repository name", cmd)
+	}
+	repoID, args := args[0], args[1:]
+	repo, err := mie.OpenRemote(serverAddr, client, repoID, mie.RemoteOptions{Create: cmd == "create"})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mie.Close(repo) }()
+
+	dataKey := crypto.DeriveKey(key.Master, "cli-data-key")
+	switch cmd {
+	case "create":
+		fmt.Printf("repository %q created\n", repoID)
+		return nil
+	case "add":
+		if len(args) < 2 {
+			return errors.New("add: need <object-id> <text-file> [image.pgm]")
+		}
+		raw, err := os.ReadFile(args[1])
+		if err != nil {
+			return fmt.Errorf("read %s: %w", args[1], err)
+		}
+		obj := &mie.Object{ID: args[0], Owner: os.Getenv("USER"), Text: string(raw)}
+		if len(args) >= 3 {
+			if obj.Image, err = loadPGM(args[2]); err != nil {
+				return err
+			}
+		}
+		if err := repo.Add(obj, dataKey); err != nil {
+			return err
+		}
+		fmt.Printf("added %q (%d bytes of text%s)\n", args[0], len(raw), imageNote(obj))
+		return nil
+	case "train":
+		if err := repo.Train(); err != nil {
+			return err
+		}
+		fmt.Println("training + indexing completed in the cloud")
+		return nil
+	case "search":
+		if len(args) == 0 && imagePath == "" {
+			return errors.New("search: need query text and/or -image")
+		}
+		query := &mie.Object{ID: "query", Text: strings.Join(args, " ")}
+		if imagePath != "" {
+			var err error
+			if query.Image, err = loadPGM(imagePath); err != nil {
+				return err
+			}
+		}
+		hits, err := repo.Search(query, k)
+		if err != nil {
+			return err
+		}
+		if len(hits) == 0 {
+			fmt.Println("no results")
+			return nil
+		}
+		for i, h := range hits {
+			fmt.Printf("%2d. %-24s score=%.4f owner=%s\n", i+1, h.ObjectID, h.Score, h.Owner)
+		}
+		return nil
+	case "get":
+		if len(args) < 1 {
+			return errors.New("get: need <object-id>")
+		}
+		ct, owner, err := repo.Get(args[0])
+		if err != nil {
+			return err
+		}
+		obj, err := mie.DecryptObject(ct, dataKey)
+		if err != nil {
+			return fmt.Errorf("decrypt (wrong data key?): %w", err)
+		}
+		fmt.Printf("id=%s owner=%s\n---\n%s\n", obj.ID, owner, obj.Text)
+		return nil
+	case "remove":
+		if len(args) < 1 {
+			return errors.New("remove: need <object-id>")
+		}
+		if err := repo.Remove(args[0]); err != nil {
+			return err
+		}
+		fmt.Printf("removed %q\n", args[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func loadPGM(path string) (*mie.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open image: %w", err)
+	}
+	defer f.Close()
+	img, err := imaging.ReadPGM(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return img, nil
+}
+
+func imageNote(obj *mie.Object) string {
+	if obj.Image == nil {
+		return ""
+	}
+	return fmt.Sprintf(" + %dx%d image", obj.Image.W, obj.Image.H)
+}
+
+func loadKey(path string) (mie.RepositoryKey, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return mie.RepositoryKey{}, fmt.Errorf("read key file (run keygen first?): %w", err)
+	}
+	b, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return mie.RepositoryKey{}, fmt.Errorf("decode key file: %w", err)
+	}
+	k, err := crypto.KeyFromBytes(b)
+	if err != nil {
+		return mie.RepositoryKey{}, err
+	}
+	return mie.RepositoryKey{Master: k}, nil
+}

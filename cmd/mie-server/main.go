@@ -1,0 +1,96 @@
+// Command mie-server runs the untrusted MIE cloud component: it hosts
+// repositories, stores ciphertexts and DPE encodings, trains codebooks and
+// answers encrypted multimodal queries over the wire protocol.
+//
+// Usage:
+//
+//	mie-server [-addr :7709] [-data-dir /var/lib/mie] [-snapshot-every 5m]
+//
+// With -data-dir the server restores all repositories from snapshots on
+// startup and persists them on shutdown and every -snapshot-every interval.
+// The server holds no key material: everything it stores and computes on is
+// encrypted or encoded client-side. Point mie-client (or any program built
+// on the public mie package) at its address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mie/internal/core"
+	"mie/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7709", "listen address")
+	dataDir := flag.String("data-dir", "", "snapshot directory for durable repositories (empty = in-memory only)")
+	snapEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (with -data-dir)")
+	flag.Parse()
+	if err := run(*addr, *dataDir, *snapEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "mie-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, snapEvery time.Duration) error {
+	logger := log.New(os.Stderr, "mie-server ", log.LstdFlags)
+
+	svc := core.NewService()
+	if dataDir != "" {
+		loaded, err := core.LoadService(dataDir, nil)
+		if err != nil {
+			// Partial loads keep the healthy repositories; log and serve.
+			logger.Printf("restore warning: %v", err)
+		}
+		svc = loaded
+		logger.Printf("restored %d repositories from %s", len(svc.Repositories()), dataDir)
+	}
+
+	srv, err := server.New(addr, svc, logger)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving on %s", srv.Addr())
+
+	stopSnap := make(chan struct{})
+	snapDone := make(chan struct{})
+	if dataDir != "" && snapEvery > 0 {
+		go func() {
+			defer close(snapDone)
+			ticker := time.NewTicker(snapEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := core.SaveService(svc, dataDir); err != nil {
+						logger.Printf("periodic snapshot: %v", err)
+					}
+				case <-stopSnap:
+					return
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	logger.Print("shutting down")
+	close(stopSnap)
+	<-snapDone
+	if dataDir != "" {
+		if err := core.SaveService(svc, dataDir); err != nil {
+			logger.Printf("final snapshot: %v", err)
+		} else {
+			logger.Printf("snapshots written to %s", dataDir)
+		}
+	}
+	return srv.Close()
+}

@@ -1,0 +1,100 @@
+package mie_test
+
+import (
+	"fmt"
+	"log"
+
+	"mie"
+)
+
+// ExampleOpenLocal shows the embedded (in-process) end-to-end flow: create a
+// repository, add encrypted objects, outsource training, search, decrypt.
+func ExampleOpenLocal() {
+	key, err := mie.NewRepositoryKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := mie.NewClient(mie.ClientConfig{Key: key})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repo, err := mie.OpenLocal(mie.NewService(), client, "notes", mie.RepositoryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataKey, err := mie.NewDataKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := []struct{ id, text string }{
+		{"go-talk", "concurrency patterns in go channels goroutines"},
+		{"crypto-notes", "paillier homomorphic encryption additively"},
+		{"trip-plan", "lisbon porto train schedule tickets"},
+	}
+	for _, d := range docs {
+		if err := repo.Add(&mie.Object{ID: d.id, Owner: "me", Text: d.text}, dataKey); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := repo.Train(); err != nil {
+		log.Fatal(err)
+	}
+	hits, err := repo.Search(&mie.Object{ID: "q", Text: "homomorphic encryption"}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := mie.DecryptObject(hits[0].Ciphertext, dataKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(hits[0].ObjectID)
+	fmt.Println(obj.Text)
+	// Output:
+	// crypto-notes
+	// paillier homomorphic encryption additively
+}
+
+// ExampleRepository_Remove shows dynamic deletion: removed objects leave the
+// index immediately, with no client-side bookkeeping.
+func ExampleRepository_Remove() {
+	key, err := mie.NewRepositoryKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := mie.NewClient(mie.ClientConfig{Key: key})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repo, err := mie.OpenLocal(mie.NewService(), client, "r", mie.RepositoryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataKey, err := mie.NewDataKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range []struct{ id, text string }{
+		{"keep", "quarterly report finances"},
+		{"drop", "quarterly report drafts obsolete"},
+		{"other", "unrelated meeting minutes"},
+	} {
+		if err := repo.Add(&mie.Object{ID: d.id, Owner: "me", Text: d.text}, dataKey); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := repo.Train(); err != nil {
+		log.Fatal(err)
+	}
+	if err := repo.Remove("drop"); err != nil {
+		log.Fatal(err)
+	}
+	hits, err := repo.Search(&mie.Object{ID: "q", Text: "quarterly report"}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Println(h.ObjectID)
+	}
+	// Output:
+	// keep
+}

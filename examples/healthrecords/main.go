@@ -1,0 +1,159 @@
+// Healthrecords: the Personal Health Records use case of paper §III-C.
+//
+//	go run ./examples/healthrecords
+//
+// Patients outsource PHRs (consultation notes + a medical scan) to a
+// cloud-backed repository shared by a medical specialty's doctors. The
+// repository key lets doctors *search* the encrypted records; each record's
+// full content stays under the patient's own data key, which the patient
+// releases per request — fine-grained access control on top of searchable
+// encryption.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mie"
+)
+
+type patient struct {
+	name    string
+	dataKey mie.DataKey
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The cardiology alliance shares one repository key among its doctors.
+	repoKey, err := mie.NewRepositoryKey()
+	if err != nil {
+		return err
+	}
+	doctor, err := mie.NewClient(mie.ClientConfig{Key: repoKey})
+	if err != nil {
+		return err
+	}
+	svc := mie.NewService()
+	repo, err := mie.OpenLocal(svc, doctor, "cardiology-phr", mie.RepositoryOptions{})
+	if err != nil {
+		return err
+	}
+
+	// Each patient holds their own data key.
+	patients := map[string]*patient{}
+	newPatient := func(name string) (*patient, error) {
+		dk, err := mie.NewDataKey()
+		if err != nil {
+			return nil, err
+		}
+		p := &patient{name: name, dataKey: dk}
+		patients[name] = p
+		return p, nil
+	}
+
+	records := []struct {
+		patient string
+		id      string
+		notes   string
+		scan    int64
+	}{
+		{"ana", "phr-ana-2016-03", "patient reports chest pain arrhythmia palpitations; ecg shows atrial fibrillation; prescribed anticoagulant", 1},
+		{"bruno", "phr-bruno-2016-04", "routine checkup; mild hypertension; recommended exercise and diet; blood pressure monitoring", 2},
+		{"carla", "phr-carla-2016-05", "post-operative follow-up after valve replacement; recovery normal; echocardiogram stable", 3},
+		{"ana", "phr-ana-2016-06", "follow-up arrhythmia episode; adjusted medication dosage; holter monitor ordered", 1},
+		{"diogo", "phr-diogo-2016-06", "chest pain under exertion; stress test positive; angiography scheduled; suspected coronary disease", 4},
+	}
+	for _, r := range records {
+		p, ok := patients[r.patient]
+		if !ok {
+			if p, err = newPatient(r.patient); err != nil {
+				return err
+			}
+		}
+		obj := &mie.Object{
+			ID:    r.id,
+			Owner: r.patient,
+			Text:  r.notes,
+			Image: medicalScan(r.scan, r.id),
+		}
+		if err := repo.Add(obj, p.dataKey); err != nil {
+			return fmt.Errorf("upload %s: %w", r.id, err)
+		}
+		fmt.Printf("uploaded %-20s (owner %s; encrypted under the patient's key)\n", r.id, r.patient)
+	}
+	if err := repo.Train(); err != nil {
+		return err
+	}
+	fmt.Println("cloud indexed the records (training over encodings only)")
+
+	// A doctor researching arrhythmia treatments searches the shared
+	// repository: the query reveals only deterministic tokens.
+	hits, err := repo.Search(&mie.Object{ID: "q", Text: "arrhythmia palpitations medication"}, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ndoctor's search for similar arrhythmia cases:")
+	for i, h := range hits {
+		fmt.Printf("  %d. %-20s score=%.4f patient=%s\n", i+1, h.ObjectID, h.Score, h.Owner)
+	}
+	if len(hits) == 0 {
+		return fmt.Errorf("no results")
+	}
+	top := hits[0]
+
+	// Without the patient's data key the record stays opaque.
+	wrongKey, err := mie.NewDataKey()
+	if err != nil {
+		return err
+	}
+	if obj, err := mie.DecryptObject(top.Ciphertext, wrongKey); err == nil && obj.ID == top.ObjectID {
+		return fmt.Errorf("record decrypted without the patient's key")
+	}
+	fmt.Printf("\nwithout %s's data key the record is unreadable ✓\n", top.Owner)
+
+	// The metadata names the owner, so the doctor requests the key from the
+	// patient (asynchronously, out of band) and reads the record.
+	owner := patients[top.Owner]
+	obj, err := mie.DecryptObject(top.Ciphertext, owner.dataKey)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after %s grants access:\n  %s: %q\n", owner.name, obj.ID, obj.Text)
+	return nil
+}
+
+// medicalScan renders a synthetic grayscale scan; scans of the same patient
+// condition (seed) look alike.
+func medicalScan(condition int64, salt string) *mie.Image {
+	img, err := mie.NewImage(64, 64)
+	if err != nil {
+		panic(err) // impossible: fixed valid dimensions
+	}
+	base := rand.New(rand.NewSource(condition * 77))
+	var saltSeed int64
+	for _, c := range salt {
+		saltSeed = saltSeed*31 + int64(c)
+	}
+	noise := rand.New(rand.NewSource(saltSeed))
+	cx, cy := 20+base.Float64()*24, 20+base.Float64()*24
+	rx, ry := 6+base.Float64()*10, 6+base.Float64()*10
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			v := 0.2
+			if dx*dx+dy*dy < 1 {
+				v = 0.8
+			}
+			v += 0.1 * noise.Float64()
+			img.Set(x, y, v)
+		}
+	}
+	return img
+}

@@ -1,0 +1,133 @@
+// Multiuser: the Figure 4 scenario — several writers push objects into one
+// shared repository concurrently over real TCP connections, with zero
+// client-side coordination (MIE clients are stateless, so there is no
+// counter dictionary to lock, unlike the SSE baselines).
+//
+//	go run ./examples/multiuser
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mie"
+)
+
+const (
+	writers       = 4
+	docsPerWriter = 25
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	svc := mie.NewService()
+	srv, err := mie.Serve("127.0.0.1:0", svc)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("server close: %v", err)
+		}
+	}()
+
+	repoKey, err := mie.NewRepositoryKey()
+	if err != nil {
+		return err
+	}
+	dataKey, err := mie.NewDataKey()
+	if err != nil {
+		return err
+	}
+
+	// Bootstrap the repository once.
+	boot, err := mie.NewClient(mie.ClientConfig{Key: repoKey})
+	if err != nil {
+		return err
+	}
+	bootRepo, err := mie.OpenRemote(srv.Addr(), boot, "team-docs", mie.RemoteOptions{Create: true})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mie.Close(bootRepo) }()
+
+	topics := []string{
+		"quarterly budget finance report numbers",
+		"product roadmap design features launch",
+		"incident postmortem outage database recovery",
+		"hiring interview candidates engineering team",
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = runWriter(srv.Addr(), repoKey, dataKey, w, topics[w%len(topics)])
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return fmt.Errorf("writer %d: %w", w, err)
+		}
+	}
+	fmt.Printf("%d writers uploaded %d objects concurrently in %v\n",
+		writers, writers*docsPerWriter, time.Since(start).Round(time.Millisecond))
+
+	// Any user can search everything, immediately.
+	hits, err := bootRepo.Search(&mie.Object{ID: "q", Text: "incident outage recovery"}, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nsearch for 'incident outage recovery':")
+	for i, h := range hits {
+		fmt.Printf("  %d. %-22s score=%.4f owner=%s\n", i+1, h.ObjectID, h.Score, h.Owner)
+	}
+	total := 0
+	for _, t := range topics {
+		hs, err := bootRepo.Search(&mie.Object{ID: "q", Text: t}, writers*docsPerWriter)
+		if err != nil {
+			return err
+		}
+		total += len(hs)
+	}
+	fmt.Printf("\nobjects reachable through topic queries: %d\n", total)
+	return nil
+}
+
+func runWriter(addr string, repoKey mie.RepositoryKey, dataKey mie.DataKey, id int, topic string) error {
+	// Each writer is an independent device: own client, own connection.
+	c, err := mie.NewClient(mie.ClientConfig{Key: repoKey})
+	if err != nil {
+		return err
+	}
+	repo, err := mie.OpenRemote(addr, c, "team-docs", mie.RemoteOptions{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mie.Close(repo) }()
+	rng := rand.New(rand.NewSource(int64(id)))
+	words := []string{"meeting", "draft", "final", "review", "notes", "summary", "action", "plan"}
+	for i := 0; i < docsPerWriter; i++ {
+		obj := &mie.Object{
+			ID:    fmt.Sprintf("writer%d-doc%02d", id, i),
+			Owner: fmt.Sprintf("writer%d", id),
+			Text:  fmt.Sprintf("%s %s %s", topic, words[rng.Intn(len(words))], words[rng.Intn(len(words))]),
+		}
+		if err := repo.Add(obj, dataKey); err != nil {
+			return err
+		}
+	}
+	return nil
+}

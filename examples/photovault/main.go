@@ -1,0 +1,181 @@
+// Photovault: a cloud photo app over a real MIE server — the motivating
+// scenario of the paper's introduction (iCloud/Google Photos without
+// trusting the provider).
+//
+//	go run ./examples/photovault
+//
+// It starts a TCP mie-server in process, then two users with the shared
+// repository key connect independently: Alice uploads her tagged photo
+// library; Bob (a family member) searches it by example and fetches a photo
+// — everything crossing the socket is encrypted or encoded.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mie"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The cloud: knows no keys, sees no plaintext.
+	svc := mie.NewService()
+	srv, err := mie.Serve("127.0.0.1:0", svc)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("server close: %v", err)
+		}
+	}()
+	fmt.Println("cloud server listening on", srv.Addr())
+
+	// The family shares one repository key (distributed out of band, e.g.
+	// via a key-sharing protocol over public-key authentication).
+	repoKey, err := mie.NewRepositoryKey()
+	if err != nil {
+		return err
+	}
+	familyAlbumKey, err := mie.NewDataKey()
+	if err != nil {
+		return err
+	}
+
+	// --- Alice: creates the repository and uploads her library ----------
+	alice, err := mie.NewClient(mie.ClientConfig{Key: repoKey})
+	if err != nil {
+		return err
+	}
+	aliceRepo, err := mie.OpenRemote(srv.Addr(), alice, "family-photos", mie.RemoteOptions{Create: true})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mie.Close(aliceRepo) }()
+
+	type photo struct {
+		id, tags string
+		scene    int64
+	}
+	library := []photo{
+		{"summer-beach-01", "beach sand holiday kids sunny", 10},
+		{"summer-beach-02", "beach waves ocean sunset", 10},
+		{"birthday-party", "party cake family celebration candles", 20},
+		{"ski-trip-01", "mountain snow ski winter family", 30},
+		{"ski-trip-02", "mountain snow sled kids winter", 30},
+		{"grandma-garden", "garden flowers spring grandma", 40},
+	}
+	for _, p := range library {
+		obj := &mie.Object{
+			ID:    p.id,
+			Owner: "alice",
+			Text:  p.tags,
+			Image: scenePhoto(p.scene, p.id),
+		}
+		if err := aliceRepo.Add(obj, familyAlbumKey); err != nil {
+			return fmt.Errorf("alice add %s: %w", p.id, err)
+		}
+	}
+	fmt.Printf("alice uploaded %d encrypted photos\n", len(library))
+
+	// Training runs in the cloud — Alice's phone does nothing.
+	if err := aliceRepo.Train(); err != nil {
+		return err
+	}
+	fmt.Println("cloud trained + indexed the album")
+
+	// --- Bob: searches with his own connection ----------------------------
+	bob, err := mie.NewClient(mie.ClientConfig{Key: repoKey})
+	if err != nil {
+		return err
+	}
+	bobRepo, err := mie.OpenRemote(srv.Addr(), bob, "family-photos", mie.RemoteOptions{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mie.Close(bobRepo) }()
+
+	// Bob remembers a snowy day and has one photo from the same trip.
+	query := &mie.Object{
+		ID:    "bob-query",
+		Text:  "snow winter",
+		Image: scenePhoto(30, "bobs-own-shot"),
+	}
+	hits, err := bobRepo.Search(query, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nbob's results for 'snow winter' + his ski photo:")
+	for i, h := range hits {
+		fmt.Printf("  %d. %-18s score=%.4f owner=%s\n", i+1, h.ObjectID, h.Score, h.Owner)
+	}
+	if len(hits) == 0 {
+		return fmt.Errorf("no results")
+	}
+
+	// Bob holds the album data key (family sharing), so he can decrypt.
+	obj, err := mie.DecryptObject(hits[0].Ciphertext, familyAlbumKey)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbob decrypted %q — tags: %q\n", obj.ID, obj.Text)
+
+	// Bob also adds his own photo to the shared album: multi-writer, no
+	// coordination, no client-side state.
+	add := &mie.Object{
+		ID:    "bob-ski-03",
+		Owner: "bob",
+		Text:  "mountain snow snowboard winter",
+		Image: scenePhoto(30, "bob-ski-03"),
+	}
+	if err := bobRepo.Add(add, familyAlbumKey); err != nil {
+		return err
+	}
+	fmt.Println("bob added his own photo to the shared album")
+
+	// It is immediately searchable (dynamic index, no retraining needed).
+	hits, err = aliceRepo.Search(&mie.Object{ID: "q2", Text: "snowboard"}, 1)
+	if err != nil {
+		return err
+	}
+	if len(hits) > 0 {
+		fmt.Printf("alice immediately finds it: %s\n", hits[0].ObjectID)
+	}
+	return nil
+}
+
+// scenePhoto renders a deterministic procedural "photo" of a scene; photos
+// of the same scene are visually similar, which is what content-based
+// search keys on.
+func scenePhoto(scene int64, salt string) *mie.Image {
+	img, err := mie.NewImage(64, 64)
+	if err != nil {
+		panic(err) // impossible: fixed valid dimensions
+	}
+	base := rand.New(rand.NewSource(scene))
+	var saltSeed int64
+	for _, c := range salt {
+		saltSeed = saltSeed*31 + int64(c)
+	}
+	noise := rand.New(rand.NewSource(saltSeed))
+	// Scene-specific soft blocks plus per-shot noise.
+	blocks := make([]float64, 16)
+	for i := range blocks {
+		blocks[i] = base.Float64()
+	}
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := blocks[(y/16)*4+(x/16)]
+			v = 0.8*v + 0.2*noise.Float64()
+			img.Set(x, y, v)
+		}
+	}
+	return img
+}

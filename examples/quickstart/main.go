@@ -1,0 +1,122 @@
+// Quickstart: the smallest end-to-end MIE session, fully in process.
+//
+//	go run ./examples/quickstart
+//
+// It creates a repository, uploads a handful of multimodal objects (tagged
+// photos), outsources training to the (in-process) cloud, runs a multimodal
+// search and decrypts the top hit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mie"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The repository creator generates rk_R and shares it with trusted
+	//    users out of band.
+	repoKey, err := mie.NewRepositoryKey()
+	if err != nil {
+		return err
+	}
+	client, err := mie.NewClient(mie.ClientConfig{Key: repoKey})
+	if err != nil {
+		return err
+	}
+
+	// 2. An in-process cloud service (swap OpenLocal for OpenRemote to talk
+	//    to a real mie-server).
+	svc := mie.NewService()
+	repo, err := mie.OpenLocal(svc, client, "vacation", mie.RepositoryOptions{})
+	if err != nil {
+		return err
+	}
+
+	// 3. Upload multimodal objects, each under its own data key.
+	dataKey, err := mie.NewDataKey()
+	if err != nil {
+		return err
+	}
+	albums := []struct {
+		id, tags string
+		seed     int64
+	}{
+		{"lisbon-beach", "beach sand ocean waves sunny portugal", 1},
+		{"alps-hike", "mountain snow hiking trail peaks", 2},
+		{"tokyo-night", "city skyline night lights neon", 3},
+		{"algarve-surf", "beach surf waves ocean summer", 4},
+		{"dolomites", "mountain climbing alpine summit", 5},
+	}
+	for _, a := range albums {
+		obj := &mie.Object{
+			ID:    a.id,
+			Owner: "alice",
+			Text:  a.tags,
+			Image: syntheticPhoto(a.seed),
+		}
+		if err := repo.Add(obj, dataKey); err != nil {
+			return fmt.Errorf("add %s: %w", a.id, err)
+		}
+		fmt.Printf("uploaded %-14s (encrypted; server sees only tokens and encodings)\n", a.id)
+	}
+
+	// 4. Training and indexing run on the server, over the encodings — the
+	//    client pays nothing (the headline result of the paper).
+	if err := repo.Train(); err != nil {
+		return err
+	}
+	fmt.Println("cloud trained the visual codebook and indexed everything")
+
+	// 5. Query by example: a multimodal object with tags and a photo.
+	query := &mie.Object{
+		ID:    "query",
+		Text:  "ocean beach waves",
+		Image: syntheticPhoto(1),
+	}
+	hits, err := repo.Search(query, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntop results for 'ocean beach waves' + example photo:")
+	for i, h := range hits {
+		fmt.Printf("  %d. %-14s score=%.4f\n", i+1, h.ObjectID, h.Score)
+	}
+
+	// 6. Decrypt the best hit with its data key.
+	if len(hits) > 0 {
+		obj, err := mie.DecryptObject(hits[0].Ciphertext, dataKey)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndecrypted winner: id=%s tags=%q\n", obj.ID, obj.Text)
+	}
+	return nil
+}
+
+// syntheticPhoto stands in for a camera image: a seeded procedural texture.
+func syntheticPhoto(seed int64) *mie.Image {
+	img, err := mie.NewImage(64, 64)
+	if err != nil {
+		panic(err) // impossible: fixed valid dimensions
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := 0.5 + 0.4*rng.Float64()
+			if (x/8+y/8)%2 == int(seed)%2 {
+				v *= 0.6
+			}
+			img.Set(x, y, v)
+		}
+	}
+	return img
+}

@@ -1,0 +1,3 @@
+module mie
+
+go 1.22

@@ -1,0 +1,140 @@
+// Package client provides the network bindings of the MIE client component:
+// it speaks the wire protocol to a server hosting core.Service, and couples
+// each exchange to a device.Meter so the figures' Network sub-operation can
+// be attributed per call.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mie/internal/core"
+	"mie/internal/device"
+	"mie/internal/wire"
+)
+
+// Conn is a client connection to one MIE server. Calls are serialized over
+// a single TCP connection (one in-flight request per Conn); open several
+// Conns for parallelism.
+type Conn struct {
+	mu    sync.Mutex
+	tcp   net.Conn
+	meter *device.Meter
+	token string
+}
+
+// Dial connects to an MIE server. meter may be nil.
+func Dial(addr string, meter *device.Meter) (*Conn, error) {
+	tcp, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Conn{tcp: tcp, meter: meter}, nil
+}
+
+// Close shuts the connection down.
+func (c *Conn) Close() error { return c.tcp.Close() }
+
+// SetToken attaches a bearer authorization token (minted by the repository
+// owner's auth.Authority) to every subsequent request.
+func (c *Conn) SetToken(token string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.token = token
+}
+
+// roundTrip sends one request and reads one response, accounting bytes to
+// the given cost category.
+func (c *Conn) roundTrip(cat device.Category, kind string, req, resp interface{}) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	up, err := wire.WriteFrameAuth(c.tcp, kind, c.token, req)
+	if err != nil {
+		return err
+	}
+	env, down, err := wire.ReadFrame(c.tcp)
+	if err != nil {
+		return fmt.Errorf("client: %s response: %w", kind, err)
+	}
+	if c.meter != nil {
+		c.meter.AddTransfer(cat, int64(up), int64(down))
+	}
+	if env.Kind == wire.KindError {
+		var ack wire.Ack
+		if derr := env.Decode(&ack); derr == nil && ack.Err != "" {
+			return errors.New(ack.Err)
+		}
+		return errors.New("client: server rejected request")
+	}
+	return env.Decode(resp)
+}
+
+// CreateRepository asks the server to initialize a repository.
+func (c *Conn) CreateRepository(repoID string, opts wire.RepoOptions) error {
+	var ack wire.Ack
+	if err := c.roundTrip(device.Network, wire.KindCreateRepo, wire.CreateRepoReq{RepoID: repoID, Opts: opts}, &ack); err != nil {
+		return err
+	}
+	return ackErr(ack)
+}
+
+// Train triggers cloud-side training (free for the client: the only cost is
+// the request round trip, which is the point of MIE).
+func (c *Conn) Train(repoID string) error {
+	var ack wire.Ack
+	if err := c.roundTrip(device.Network, wire.KindTrain, wire.TrainReq{RepoID: repoID}, &ack); err != nil {
+		return err
+	}
+	return ackErr(ack)
+}
+
+// Update uploads a prepared encrypted update.
+func (c *Conn) Update(repoID string, up *core.Update) error {
+	var ack wire.Ack
+	if err := c.roundTrip(device.Network, wire.KindUpdate, wire.UpdateReq{RepoID: repoID, Update: *up}, &ack); err != nil {
+		return err
+	}
+	return ackErr(ack)
+}
+
+// Remove deletes an object from the repository.
+func (c *Conn) Remove(repoID, objectID string) error {
+	var ack wire.Ack
+	if err := c.roundTrip(device.Network, wire.KindRemove, wire.RemoveReq{RepoID: repoID, ObjectID: objectID}, &ack); err != nil {
+		return err
+	}
+	return ackErr(ack)
+}
+
+// Search runs a prepared multimodal query and returns ranked hits.
+func (c *Conn) Search(repoID string, q *core.Query) ([]core.SearchHit, error) {
+	var resp wire.SearchResp
+	if err := c.roundTrip(device.Network, wire.KindSearch, wire.SearchReq{RepoID: repoID, Query: *q}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Hits, nil
+}
+
+// Get fetches one stored ciphertext and its owner.
+func (c *Conn) Get(repoID, objectID string) (ciphertext []byte, owner string, err error) {
+	var resp wire.GetResp
+	if err := c.roundTrip(device.Network, wire.KindGet, wire.GetReq{RepoID: repoID, ObjectID: objectID}, &resp); err != nil {
+		return nil, "", err
+	}
+	if resp.Err != "" {
+		return nil, "", errors.New(resp.Err)
+	}
+	return resp.Ciphertext, resp.Owner, nil
+}
+
+func ackErr(ack wire.Ack) error {
+	if ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+	return nil
+}

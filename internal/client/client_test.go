@@ -1,0 +1,149 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"mie/internal/core"
+	"mie/internal/device"
+	"mie/internal/wire"
+)
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", nil); err == nil {
+		t.Error("expected connection error for closed port")
+	}
+}
+
+// fakeServer accepts one connection and answers every request with the
+// given envelope kind/payload.
+func fakeServer(t *testing.T, kind string, payload interface{}) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			if _, _, err := wire.ReadFrame(conn); err != nil {
+				return
+			}
+			if _, err := wire.WriteFrame(conn, kind, payload); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestServerErrorKindSurfaced(t *testing.T) {
+	addr := fakeServer(t, wire.KindError, wire.Ack{Err: "nope"})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Train("r"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("err = %v, want server error text", err)
+	}
+}
+
+func TestAckErrorSurfaced(t *testing.T) {
+	addr := fakeServer(t, wire.KindAck, wire.Ack{Err: "repository not found: x"})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Remove("x", "obj"); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSearchRespError(t *testing.T) {
+	addr := fakeServer(t, wire.KindSearchResp, wire.SearchResp{Err: "boom"})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Search("r", &core.Query{K: 1}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGetRespError(t *testing.T) {
+	addr := fakeServer(t, wire.KindGetResp, wire.GetResp{Err: "missing"})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Get("r", "obj"); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConnClosedMidRequest(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = conn.Close() // hang up without answering
+	}()
+	c, err := Dial(ln.Addr().String(), device.NewMeter(device.Desktop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Train("r"); err == nil {
+		t.Error("expected error after server hangup")
+	}
+	_ = ln.Close()
+}
+
+func TestSetTokenIsAttached(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	gotAuth := make(chan string, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		env, _, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		gotAuth <- env.Auth
+		_, _ = wire.WriteFrame(conn, wire.KindAck, wire.Ack{})
+	}()
+	c, err := Dial(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetToken("bearer-xyz")
+	if err := c.Train("r"); err != nil {
+		t.Fatal(err)
+	}
+	if auth := <-gotAuth; auth != "bearer-xyz" {
+		t.Errorf("server saw auth %q", auth)
+	}
+}

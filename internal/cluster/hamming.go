@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mie/internal/vec"
+)
+
+// HammingResult carries the outcome of k-means over bit vectors.
+type HammingResult struct {
+	Centroids   []vec.BitVec
+	Assignments []int
+	Inertia     float64 // sum of Hamming distances to assigned centroids
+	Iterations  int
+}
+
+// HammingKMeans clusters Dense-DPE encodings in Hamming space: assignment
+// uses Hamming distance and the update step takes the per-bit majority vote
+// of each cluster (the 1-median in Hamming space). This is the "small
+// modification" the paper notes is needed for the cloud to train on
+// encodings instead of plaintext features.
+func HammingKMeans(points []vec.BitVec, k int, opts Options) (*HammingResult, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	opts.setDefaults()
+	if k > len(points) {
+		k = len(points)
+	}
+	n := points[0].Len()
+	for i, p := range points {
+		if p.Len() != n {
+			return nil, fmt.Errorf("cluster: encoding %d has %d bits, want %d", i, p.Len(), n)
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	centroids := seedHammingPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	res := &HammingResult{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		var inertia float64
+		for i, p := range points {
+			best, bestD := nearestHamming(centroids, p)
+			assign[i] = best
+			inertia += float64(bestD)
+		}
+		res.Inertia = inertia
+		// Majority-vote update.
+		ones := make([][]int, k)
+		counts := make([]int, k)
+		for c := range ones {
+			ones[c] = make([]int, n)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for b := 0; b < n; b++ {
+				if p.Get(b) {
+					ones[c][b]++
+				}
+			}
+		}
+		moved := 0
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far, farD := 0, -1
+				for i, p := range points {
+					if d := vec.Hamming(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = points[far].Clone()
+				moved++
+				continue
+			}
+			next := vec.NewBitVec(n)
+			for b := 0; b < n; b++ {
+				switch {
+				case 2*ones[c][b] > counts[c]:
+					next.Set(b, true)
+				case 2*ones[c][b] == counts[c]:
+					// Tie: keep the previous bit so the loop can converge.
+					next.Set(b, centroids[c].Get(b))
+				}
+			}
+			if !next.Equal(centroids[c]) {
+				moved++
+			}
+			centroids[c] = next
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		best, bestD := nearestHamming(centroids, p)
+		assign[i] = best
+		inertia += float64(bestD)
+	}
+	res.Centroids = centroids
+	res.Assignments = assign
+	res.Inertia = inertia
+	return res, nil
+}
+
+// NearestHamming returns the index of the centroid closest to p in Hamming
+// distance.
+func NearestHamming(centroids []vec.BitVec, p vec.BitVec) int {
+	best, _ := nearestHamming(centroids, p)
+	return best
+}
+
+func nearestHamming(centroids []vec.BitVec, p vec.BitVec) (int, int) {
+	best, bestD := 0, vec.Hamming(p, centroids[0])
+	for c := 1; c < len(centroids); c++ {
+		if d := vec.Hamming(p, centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// seedHammingPlusPlus mirrors k-means++ with Hamming distances.
+func seedHammingPlusPlus(points []vec.BitVec, k int, rng *rand.Rand) []vec.BitVec {
+	centroids := make([]vec.BitVec, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			d := float64(vec.Hamming(p, last))
+			d = d * d
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, w := range d2 {
+			r -= w
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, points[idx].Clone())
+	}
+	return centroids
+}

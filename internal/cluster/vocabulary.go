@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// Vocabulary is the paper's exact Bag-Of-Visual-Words construction (§VI):
+// a *flat* k-means over all training descriptors selects the visual words
+// (1000 in the paper's experiments) — this is the expensive "training"
+// operation the schemes fight over — and a hierarchical-k-means tree is
+// then built *over the words* purely to make word lookup fast (height 3,
+// width 10). Quantization descends the tree to a leaf cell and scans only
+// that cell's words.
+//
+// This differs from using the tree's own leaves as words (VocabTree): the
+// word set comes from the full flat clustering, so retrieval quality is
+// that of flat k-means while lookup costs Branch·Height + |cell| distance
+// computations.
+type Vocabulary[P any] struct {
+	words   []P
+	tree    *VocabTree[P]
+	buckets [][]int // tree leaf id -> indices into words
+	dist    func(P, P) float64
+}
+
+// VocabParams configures vocabulary training.
+type VocabParams struct {
+	// Words is the vocabulary size (paper: 1000).
+	Words int
+	// Tree shapes the lookup tree built over the words (paper: 10 wide,
+	// 3 high).
+	Tree TreeParams
+	// Seed drives the flat clustering.
+	Seed int64
+	// MaxIter caps the flat k-means iterations (0 = the KMeans default).
+	MaxIter int
+}
+
+// TrainVocabulary runs the training operation: flat clustering of the
+// descriptors into Words visual words, then the lookup tree over the words.
+func TrainVocabulary[P any](points []P, params VocabParams, clusterFn Clusterer[P], dist func(P, P) float64) (*Vocabulary[P], error) {
+	if params.Words < 1 {
+		return nil, fmt.Errorf("cluster: vocabulary needs at least 1 word, got %d", params.Words)
+	}
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	words, _, err := clusterFn(points, params.Words, params.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: train vocabulary: %w", err)
+	}
+	v := &Vocabulary[P]{words: words, dist: dist}
+	if len(words) <= params.Tree.Branch || params.Tree.Branch < 2 {
+		// Tiny vocabulary: a tree buys nothing, quantize by linear scan.
+		return v, nil
+	}
+	tree, err := BuildVocabTree(words, params.Tree, clusterFn, dist)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: vocabulary lookup tree: %w", err)
+	}
+	v.tree = tree
+	v.buckets = make([][]int, tree.NumWords())
+	for i, w := range words {
+		leaf := tree.Quantize(w)
+		v.buckets[leaf] = append(v.buckets[leaf], i)
+	}
+	return v, nil
+}
+
+// NewVocabularyFromWords reconstructs a Vocabulary from an already-trained
+// word set (e.g. loaded from a snapshot): the expensive flat clustering is
+// skipped and only the lookup tree over the words is rebuilt, which is
+// deterministic given the tree parameters.
+func NewVocabularyFromWords[P any](words []P, tree TreeParams, clusterFn Clusterer[P], dist func(P, P) float64) (*Vocabulary[P], error) {
+	if len(words) == 0 {
+		return nil, ErrNoPoints
+	}
+	v := &Vocabulary[P]{words: words, dist: dist}
+	if len(words) <= tree.Branch || tree.Branch < 2 {
+		return v, nil
+	}
+	t, err := BuildVocabTree(words, tree, clusterFn, dist)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rebuild lookup tree: %w", err)
+	}
+	v.tree = t
+	v.buckets = make([][]int, t.NumWords())
+	for i, w := range words {
+		leaf := t.Quantize(w)
+		v.buckets[leaf] = append(v.buckets[leaf], i)
+	}
+	return v, nil
+}
+
+// Words returns the word centroids (for snapshotting a trained vocabulary).
+func (v *Vocabulary[P]) Words() []P {
+	out := make([]P, len(v.words))
+	copy(out, v.words)
+	return out
+}
+
+// Size returns the number of visual words.
+func (v *Vocabulary[P]) Size() int { return len(v.words) }
+
+// Word returns word i's centroid.
+func (v *Vocabulary[P]) Word(i int) P { return v.words[i] }
+
+// Quantize maps a descriptor to its (approximately) nearest visual word id.
+func (v *Vocabulary[P]) Quantize(p P) int {
+	if v.tree == nil {
+		return v.scan(p, nil)
+	}
+	leaf := v.tree.Quantize(p)
+	bucket := v.buckets[leaf]
+	if len(bucket) == 0 {
+		// The leaf cell captured no words (possible when tree cells split
+		// word-free regions); fall back to a global scan.
+		return v.scan(p, nil)
+	}
+	return v.scan(p, bucket)
+}
+
+// scan linear-searches the given word indices (or all words when nil).
+func (v *Vocabulary[P]) scan(p P, indices []int) int {
+	best, bestD := -1, 0.0
+	if indices == nil {
+		for i, w := range v.words {
+			if d := v.dist(p, w); best == -1 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	}
+	for _, i := range indices {
+		if d := v.dist(p, v.words[i]); best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// QuantizeAll maps a descriptor set to its word-frequency histogram.
+func (v *Vocabulary[P]) QuantizeAll(points []P) map[int]uint64 {
+	h := make(map[int]uint64, len(points))
+	for _, p := range points {
+		h[v.Quantize(p)]++
+	}
+	return h
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mie/internal/vec"
+)
+
+func TestTrainVocabularyValidation(t *testing.T) {
+	points, _ := gaussianBlobs(50, 3, 4, 30)
+	if _, err := TrainVocabulary(points, VocabParams{Words: 0}, euclideanClusterer, vec.Euclidean); err == nil {
+		t.Error("expected error for zero words")
+	}
+	if _, err := TrainVocabulary(nil, VocabParams{Words: 5}, euclideanClusterer, vec.Euclidean); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestVocabularyQuantizeMatchesNearestWord(t *testing.T) {
+	points, _ := gaussianBlobs(400, 5, 8, 31)
+	v, err := TrainVocabulary(points, VocabParams{
+		Words: 40,
+		Tree:  TreeParams{Branch: 4, Height: 2, Seed: 32},
+		Seed:  32,
+	}, euclideanClusterer, vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 40 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	// Tree lookup is approximate; require agreement with exact NN on the
+	// vast majority of points, and exact agreement within the chosen cell.
+	agree := 0
+	for _, p := range points {
+		got := v.Quantize(p)
+		exact := v.scan(p, nil)
+		if got == exact {
+			agree++
+		}
+		if got < 0 || got >= v.Size() {
+			t.Fatalf("word id %d out of range", got)
+		}
+	}
+	if frac := float64(agree) / float64(len(points)); frac < 0.8 {
+		t.Errorf("tree lookup agrees with exact NN on %.2f of points, want >= 0.8", frac)
+	}
+}
+
+func TestVocabularySmallWordSetSkipsTree(t *testing.T) {
+	points, _ := gaussianBlobs(60, 3, 4, 33)
+	v, err := TrainVocabulary(points, VocabParams{
+		Words: 3,
+		Tree:  TreeParams{Branch: 4, Height: 2, Seed: 34},
+		Seed:  34,
+	}, euclideanClusterer, vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.tree != nil {
+		t.Error("expected linear-scan vocabulary for 3 words under branch 4")
+	}
+	for _, p := range points {
+		if id := v.Quantize(p); id < 0 || id >= 3 {
+			t.Fatalf("word id %d", id)
+		}
+	}
+}
+
+func TestVocabularyQuantizeAll(t *testing.T) {
+	points, _ := gaussianBlobs(100, 4, 4, 35)
+	v, err := TrainVocabulary(points, VocabParams{
+		Words: 10,
+		Tree:  TreeParams{Branch: 3, Height: 2, Seed: 36},
+		Seed:  36,
+	}, euclideanClusterer, vec.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.QuantizeAll(points)
+	var total uint64
+	for id, c := range h {
+		if id < 0 || id >= v.Size() {
+			t.Errorf("word id %d out of range", id)
+		}
+		total += c
+	}
+	if total != uint64(len(points)) {
+		t.Errorf("histogram total %d, want %d", total, len(points))
+	}
+}
+
+func TestVocabularyHammingSpace(t *testing.T) {
+	// The server-side MIE configuration: Hamming clustering over encodings.
+	rng := rand.New(rand.NewSource(37))
+	var points []vec.BitVec
+	for c := 0; c < 4; c++ {
+		base := randomBits(rng, 128)
+		for i := 0; i < 30; i++ {
+			points = append(points, flipBits(rng, base, 8))
+		}
+	}
+	hamCluster := func(ps []vec.BitVec, k int, seed int64) ([]vec.BitVec, []int, error) {
+		res, err := HammingKMeans(ps, k, Options{Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Centroids, res.Assignments, nil
+	}
+	dist := func(a, b vec.BitVec) float64 { return float64(vec.Hamming(a, b)) }
+	v, err := TrainVocabulary(points, VocabParams{
+		Words: 12,
+		Tree:  TreeParams{Branch: 3, Height: 2, Seed: 38},
+		Seed:  38,
+	}, hamCluster, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if id := v.Quantize(p); id < 0 || id >= v.Size() {
+			t.Fatalf("word id %d", id)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+
+	"mie/internal/dpe"
+)
+
+// Leakage records the information patterns the honest-but-curious server
+// observes, mirroring the per-operation leakage functions of the ideal
+// functionality F_MIE (Algorithm 4). It exists so tests can assert the
+// leakage profile of Table I — MIE reveals ID(w), freq(w) at update time and
+// ID(w), ID(d) at search time — and so the bench harness can report what
+// each scheme exposed.
+// UpdateObservation is what the server sees for one update: the object's
+// deterministic id and its token ids with frequencies — the raw material of
+// leakage-abuse attacks (see internal/attack).
+type UpdateObservation struct {
+	ObjectID string
+	Tokens   map[dpe.Token]uint64
+}
+
+type Leakage struct {
+	mu sync.Mutex
+	// observations is the per-update log (ID(d), ID(w), freq(w)).
+	observations []UpdateObservation
+	// updateTokens counts how often each deterministic token id was seen in
+	// updates (ID(w) + freq(w) update leakage).
+	updateTokens map[dpe.Token]uint64
+	// searchTokens counts tokens observed in queries (ID(w) search leakage).
+	searchTokens map[dpe.Token]uint64
+	// accessed counts object-id accesses (ID(d) access pattern).
+	accessed map[string]int
+	// counters
+	updates, removes, searches, trains int
+}
+
+func newLeakage() *Leakage {
+	return &Leakage{
+		updateTokens: make(map[dpe.Token]uint64),
+		searchTokens: make(map[dpe.Token]uint64),
+		accessed:     make(map[string]int),
+	}
+}
+
+func (l *Leakage) recordUpdate(up *Update) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.updates++
+	obs := UpdateObservation{ObjectID: up.ObjectID, Tokens: make(map[dpe.Token]uint64, len(up.TextTokens))}
+	for tok, freq := range up.TextTokens {
+		l.updateTokens[tok] += freq
+		obs.Tokens[tok] = freq
+	}
+	l.observations = append(l.observations, obs)
+}
+
+// UpdateObservations returns a copy of the per-update leakage log, in
+// arrival order.
+func (l *Leakage) UpdateObservations() []UpdateObservation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]UpdateObservation, len(l.observations))
+	copy(out, l.observations)
+	return out
+}
+
+func (l *Leakage) recordSearch(q *Query) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.searches++
+	for tok := range q.TextTokens {
+		l.searchTokens[tok]++
+	}
+}
+
+func (l *Leakage) recordAccess(objectID string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.accessed[objectID]++
+}
+
+func (l *Leakage) recordRemove(string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.removes++
+}
+
+func (l *Leakage) recordTrain(string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.trains++
+}
+
+// UpdateTokenFreq returns the total frequency the server learned for a
+// token through updates — the freq(w) update leakage that distinguishes MIE
+// in Table I.
+func (l *Leakage) UpdateTokenFreq(tok dpe.Token) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.updateTokens[tok]
+}
+
+// DistinctUpdateTokens returns how many deterministic token ids updates have
+// revealed.
+func (l *Leakage) DistinctUpdateTokens() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.updateTokens)
+}
+
+// SearchTokenCount returns how many times a token id appeared in queries.
+func (l *Leakage) SearchTokenCount(tok dpe.Token) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.searchTokens[tok]
+}
+
+// AccessCount returns how many times an object id was returned/read.
+func (l *Leakage) AccessCount(objectID string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accessed[objectID]
+}
+
+// Ops returns the operation counters (updates, removes, searches, trains).
+func (l *Leakage) Ops() (updates, removes, searches, trains int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.updates, l.removes, l.searches, l.trains
+}

@@ -1,0 +1,582 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"mie/internal/cluster"
+	"mie/internal/dpe"
+	"mie/internal/fusion"
+	"mie/internal/index"
+	"mie/internal/vec"
+)
+
+// Common repository errors.
+var (
+	// ErrNotTrained is never returned by Search (which falls back to linear
+	// scan) but is exposed for callers that want to require an index.
+	ErrNotTrained = errors.New("core: repository not trained")
+	// ErrNoObjects is returned by Train on an empty repository when the
+	// image modality needs a codebook.
+	ErrNoObjects = errors.New("core: nothing to train on")
+	// ErrUnknownObject is returned by Get for absent ids.
+	ErrUnknownObject = errors.New("core: unknown object")
+)
+
+// RepositoryOptions configures the server-side engine of one repository.
+type RepositoryOptions struct {
+	// Modalities the repository accepts; empty means both.
+	Modalities []Modality
+	// Vocab configures visual-word training: a flat k-means selects
+	// Vocab.Words visual words (paper: 1000) and a lookup tree (paper:
+	// branch 10, height 3) is built over them. Zero values take the
+	// paper's shape.
+	Vocab cluster.VocabParams
+	// Index configures the per-modality inverted indexes (champion lists,
+	// spill directory).
+	Index index.Options
+	// TrainingSampleCap bounds how many encodings feed k-means; 0 means
+	// 20000. Training cost is the cloud's to pay, but tests want it tunable.
+	TrainingSampleCap int
+	// FusionCandidates is the per-modality candidate depth fed to rank
+	// fusion before truncating to k; 0 means 10*k.
+	FusionCandidates int
+}
+
+func (o *RepositoryOptions) setDefaults() {
+	if len(o.Modalities) == 0 {
+		o.Modalities = []Modality{ModalityText, ModalityImage, ModalityAudio}
+	}
+	if o.Vocab.Words == 0 {
+		o.Vocab.Words = 1000
+	}
+	if o.Vocab.Tree.Branch == 0 {
+		o.Vocab.Tree.Branch = 10
+	}
+	if o.Vocab.Tree.Height == 0 {
+		o.Vocab.Tree.Height = 3
+	}
+	if o.TrainingSampleCap == 0 {
+		o.TrainingSampleCap = 20000
+	}
+}
+
+// SearchHit is one ranked result returned to the querying user: the
+// encrypted object, its deterministic id and owner (the metadata pair of
+// §III-A) and the fused relevance score.
+type SearchHit struct {
+	ObjectID   string
+	Owner      string
+	Score      float64
+	Ciphertext []byte
+}
+
+// storedObject is the server-side record of one data object.
+type storedObject struct {
+	owner      string
+	ciphertext []byte
+	textTokens map[dpe.Token]uint64
+	imageEncs  []vec.BitVec
+	audioEncs  []vec.BitVec
+}
+
+// Repository is the untrusted server-side engine for one shared repository:
+// it stores ciphertexts and DPE encodings, trains the visual-word codebook,
+// maintains one inverted index per modality, and answers ranked multimodal
+// queries. All methods are safe for concurrent use by multiple users, which
+// is the multi-writer capability Figure 4 exercises.
+type Repository struct {
+	id   string
+	opts RepositoryOptions
+
+	mu         sync.RWMutex
+	objects    map[string]*storedObject
+	trained    bool
+	vocab      *cluster.Vocabulary[vec.BitVec]
+	audioVocab *cluster.Vocabulary[vec.BitVec]
+	textIdx    *index.Inverted
+	imgIdx     *index.Inverted
+	audioIdx   *index.Inverted
+	leak       *Leakage
+}
+
+// NewRepository creates the server-side representation of a repository
+// (CLOUD.CreateRepository of Algorithm 5).
+func NewRepository(id string, opts RepositoryOptions) (*Repository, error) {
+	if id == "" {
+		return nil, errors.New("core: repository needs an id")
+	}
+	opts.setDefaults()
+	r := &Repository{
+		id:      id,
+		opts:    opts,
+		objects: make(map[string]*storedObject),
+		leak:    newLeakage(),
+	}
+	return r, nil
+}
+
+// ID returns the repository's deterministic identifier (setup leakage).
+func (r *Repository) ID() string { return r.id }
+
+// Leakage exposes the record of information patterns the server observed;
+// tests assert against it and the bench harness reports it.
+func (r *Repository) Leakage() *Leakage { return r.leak }
+
+// Size returns the number of stored objects.
+func (r *Repository) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.objects)
+}
+
+// IsTrained reports whether Train has completed.
+func (r *Repository) IsTrained() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.trained
+}
+
+// VocabularySize returns the number of visual words after training (0
+// before).
+func (r *Repository) VocabularySize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.vocab == nil {
+		return 0
+	}
+	return r.vocab.Size()
+}
+
+// AudioVocabularySize returns the number of audio words after training.
+func (r *Repository) AudioVocabularySize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.audioVocab == nil {
+		return 0
+	}
+	return r.audioVocab.Size()
+}
+
+// Update stores (or replaces) an encrypted object and its encodings
+// (CLOUD.Update, Algorithm 7). If the repository is trained the object is
+// indexed immediately; otherwise indexing happens at Train time.
+func (r *Repository) Update(up *Update) error {
+	if up.ObjectID == "" {
+		return errors.New("core: update needs an object id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.objects[up.ObjectID]; exists {
+		r.removeLocked(up.ObjectID)
+	}
+	obj := &storedObject{
+		owner:      up.Owner,
+		ciphertext: up.Ciphertext,
+		textTokens: up.TextTokens,
+		imageEncs:  up.ImageEncodings,
+		audioEncs:  up.AudioEncodings,
+	}
+	r.objects[up.ObjectID] = obj
+	r.leak.recordUpdate(up)
+	if r.trained {
+		return r.indexLocked(up.ObjectID, obj)
+	}
+	return nil
+}
+
+// Remove deletes an object and its index entries (CLOUD.Remove,
+// Algorithm 8). Unknown ids are a no-op.
+func (r *Repository) Remove(objectID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removeLocked(objectID)
+	r.leak.recordRemove(objectID)
+}
+
+func (r *Repository) removeLocked(objectID string) {
+	if _, ok := r.objects[objectID]; !ok {
+		return
+	}
+	delete(r.objects, objectID)
+	if r.textIdx != nil {
+		r.textIdx.Remove(index.DocID(objectID))
+	}
+	if r.imgIdx != nil {
+		r.imgIdx.Remove(index.DocID(objectID))
+	}
+	if r.audioIdx != nil {
+		r.audioIdx.Remove(index.DocID(objectID))
+	}
+}
+
+// Get returns the stored ciphertext and owner of an object (the read path
+// of the system model).
+func (r *Repository) Get(objectID string) (ciphertext []byte, owner string, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	obj, ok := r.objects[objectID]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
+	}
+	r.leak.recordAccess(objectID)
+	return obj.ciphertext, obj.owner, nil
+}
+
+// Train runs the machine-learning step in the cloud (CLOUD.Train,
+// Algorithm 6): flat k-means over the stored Dense-DPE encodings of each
+// dense modality — in Hamming space, since that is what the encodings
+// preserve — selects the codebook words, a lookup tree is built over them,
+// and every stored object is (re)indexed. Sparse modalities need no
+// training; their index is simply (re)built. Train may be invoked again
+// later to retrain with different parameters.
+func (r *Repository) Train() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Deterministic sample order (sorted object ids) so retraining a given
+	// repository always yields the same codebooks.
+	ids := make([]string, 0, len(r.objects))
+	for id := range r.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	sampleOf := func(pick func(*storedObject) []vec.BitVec) []vec.BitVec {
+		var sample []vec.BitVec
+		for _, id := range ids {
+			for _, e := range pick(r.objects[id]) {
+				if len(sample) >= r.opts.TrainingSampleCap {
+					return sample
+				}
+				sample = append(sample, e)
+			}
+		}
+		return sample
+	}
+	// Training is only *required* for dense media (paper §V); with no
+	// encodings stored yet for a modality we skip its codebook and leave
+	// its index dormant — a later Train call can build it once data exists.
+	if r.hasModality(ModalityImage) {
+		if sample := sampleOf(func(o *storedObject) []vec.BitVec { return o.imageEncs }); len(sample) > 0 {
+			vocab, err := r.trainDenseVocab(sample)
+			if err != nil {
+				return fmt.Errorf("core: train image codebook: %w", err)
+			}
+			r.vocab = vocab
+		}
+	}
+	if r.hasModality(ModalityAudio) {
+		if sample := sampleOf(func(o *storedObject) []vec.BitVec { return o.audioEncs }); len(sample) > 0 {
+			vocab, err := r.trainDenseVocab(sample)
+			if err != nil {
+				return fmt.Errorf("core: train audio codebook: %w", err)
+			}
+			r.audioVocab = vocab
+		}
+	}
+
+	if err := r.buildIndexesLocked(); err != nil {
+		return err
+	}
+	r.trained = true
+	r.leak.recordTrain(r.id)
+	return nil
+}
+
+// trainDenseVocab runs the Hamming-space flat clustering + lookup tree for
+// one dense modality's encoding sample.
+func (r *Repository) trainDenseVocab(sample []vec.BitVec) (*cluster.Vocabulary[vec.BitVec], error) {
+	hamCluster := func(ps []vec.BitVec, k int, seed int64) ([]vec.BitVec, []int, error) {
+		res, err := cluster.HammingKMeans(ps, k, cluster.Options{Seed: seed, MaxIter: r.opts.Vocab.MaxIter})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Centroids, res.Assignments, nil
+	}
+	dist := func(a, b vec.BitVec) float64 { return float64(vec.Hamming(a, b)) }
+	return cluster.TrainVocabulary(sample, r.opts.Vocab, hamCluster, dist)
+}
+
+// buildIndexesLocked (re)creates the per-modality inverted indexes and
+// indexes every stored object; shared between Train and snapshot restore.
+func (r *Repository) buildIndexesLocked() error {
+	var err error
+	if r.hasModality(ModalityText) {
+		if r.textIdx, err = index.New(r.indexOptions("text")); err != nil {
+			return err
+		}
+	}
+	if r.hasModality(ModalityImage) {
+		if r.imgIdx, err = index.New(r.indexOptions("image")); err != nil {
+			return err
+		}
+	}
+	if r.hasModality(ModalityAudio) {
+		if r.audioIdx, err = index.New(r.indexOptions("audio")); err != nil {
+			return err
+		}
+	}
+	for id, obj := range r.objects {
+		if err := r.indexLocked(id, obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Repository) indexOptions(modality string) index.Options {
+	opts := r.opts.Index
+	if opts.SpillDir != "" {
+		opts.SpillDir = opts.SpillDir + "/" + r.id + "-" + modality
+	}
+	return opts
+}
+
+func (r *Repository) hasModality(m Modality) bool {
+	for _, mm := range r.opts.Modalities {
+		if mm == m {
+			return true
+		}
+	}
+	return false
+}
+
+// indexLocked inserts one object into the per-modality indexes.
+func (r *Repository) indexLocked(id string, obj *storedObject) error {
+	doc := index.DocID(id)
+	if r.textIdx != nil && len(obj.textTokens) > 0 {
+		terms := make(map[index.Term]uint64, len(obj.textTokens))
+		for tok, freq := range obj.textTokens {
+			terms[index.Term(tok.String())] = freq
+		}
+		if err := r.textIdx.Add(doc, terms); err != nil {
+			return err
+		}
+	}
+	if r.imgIdx != nil && len(obj.imageEncs) > 0 && r.vocab != nil {
+		hist := r.vocab.QuantizeAll(obj.imageEncs)
+		terms := make(map[index.Term]uint64, len(hist))
+		for word, freq := range hist {
+			terms[visualTerm(word)] = freq
+		}
+		if err := r.imgIdx.Add(doc, terms); err != nil {
+			return err
+		}
+	}
+	if r.audioIdx != nil && len(obj.audioEncs) > 0 && r.audioVocab != nil {
+		hist := r.audioVocab.QuantizeAll(obj.audioEncs)
+		terms := make(map[index.Term]uint64, len(hist))
+		for word, freq := range hist {
+			terms[audioTerm(word)] = freq
+		}
+		if err := r.audioIdx.Add(doc, terms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func visualTerm(word int) index.Term {
+	return index.Term("vw:" + strconv.Itoa(word))
+}
+
+func audioTerm(word int) index.Term {
+	return index.Term("aw:" + strconv.Itoa(word))
+}
+
+// Search answers a multimodal query (CLOUD.Search, Algorithm 9): per
+// modality, either a sub-linear index lookup (after training) or a linear
+// ranked scan over stored encodings (before), then logarithmic ISR rank
+// fusion across modalities and truncation to the top k.
+func (r *Repository) Search(q *Query) ([]SearchHit, error) {
+	return r.SearchWithFusion(q, fusion.LogISR)
+}
+
+// SearchWithFusion is Search with an explicit rank-fusion formula; the
+// default (and the paper's choice) is logarithmic ISR. Exposed for the
+// fusion ablation.
+func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchHit, error) {
+	if q.K <= 0 {
+		return nil, errors.New("core: query k must be positive")
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	depth := r.opts.FusionCandidates
+	if depth <= 0 {
+		depth = 10 * q.K
+	}
+	var lists [][]index.Result
+	if len(q.TextTokens) > 0 && r.hasModality(ModalityText) {
+		lists = append(lists, r.searchTextLocked(q, depth))
+	}
+	if len(q.ImageEncodings) > 0 && r.hasModality(ModalityImage) {
+		lists = append(lists, r.searchImageLocked(q, depth))
+	}
+	if len(q.AudioEncodings) > 0 && r.hasModality(ModalityAudio) {
+		lists = append(lists, r.searchAudioLocked(q, depth))
+	}
+	fused := fusion.Fuse(method, lists, q.K)
+	hits := make([]SearchHit, 0, len(fused))
+	for _, res := range fused {
+		obj, ok := r.objects[string(res.Doc)]
+		if !ok {
+			continue // racing remove; the snapshot index may be slightly stale
+		}
+		r.leak.recordAccess(string(res.Doc))
+		hits = append(hits, SearchHit{
+			ObjectID:   string(res.Doc),
+			Owner:      obj.owner,
+			Score:      res.Score,
+			Ciphertext: obj.ciphertext,
+		})
+	}
+	r.leak.recordSearch(q)
+	return hits, nil
+}
+
+func (r *Repository) searchTextLocked(q *Query, depth int) []index.Result {
+	if r.trained && r.textIdx != nil {
+		terms := make(map[index.Term]uint64, len(q.TextTokens))
+		for tok, freq := range q.TextTokens {
+			terms[index.Term(tok.String())] = freq
+		}
+		return r.textIdx.Search(terms, depth)
+	}
+	// Linear ranked scan: token-overlap TF scoring across all objects.
+	scores := make(map[index.DocID]float64)
+	for id, obj := range r.objects {
+		var s float64
+		for tok, qf := range q.TextTokens {
+			if tf, ok := obj.textTokens[tok]; ok {
+				s += float64(qf) * float64(tf)
+			}
+		}
+		if s > 0 {
+			scores[index.DocID(id)] = s
+		}
+	}
+	return rankMap(scores, depth)
+}
+
+func (r *Repository) searchImageLocked(q *Query, depth int) []index.Result {
+	if r.trained && r.imgIdx != nil && r.vocab != nil {
+		hist := r.vocab.QuantizeAll(q.ImageEncodings)
+		terms := make(map[index.Term]uint64, len(hist))
+		for word, freq := range hist {
+			terms[visualTerm(word)] = freq
+		}
+		return r.imgIdx.Search(terms, depth)
+	}
+	// Linear ranked scan over encodings: each query encoding votes for the
+	// object holding its nearest stored encoding (by Hamming distance),
+	// weighted by similarity.
+	scores := make(map[index.DocID]float64)
+	for id, obj := range r.objects {
+		if len(obj.imageEncs) == 0 {
+			continue
+		}
+		var s float64
+		for _, qe := range q.ImageEncodings {
+			best := 1.0
+			for _, oe := range obj.imageEncs {
+				if d := vec.NormHamming(qe, oe); d < best {
+					best = d
+				}
+			}
+			s += 1 - best
+		}
+		if s > 0 {
+			scores[index.DocID(id)] = s
+		}
+	}
+	return rankMap(scores, depth)
+}
+
+func (r *Repository) searchAudioLocked(q *Query, depth int) []index.Result {
+	if r.trained && r.audioIdx != nil && r.audioVocab != nil {
+		hist := r.audioVocab.QuantizeAll(q.AudioEncodings)
+		terms := make(map[index.Term]uint64, len(hist))
+		for word, freq := range hist {
+			terms[audioTerm(word)] = freq
+		}
+		return r.audioIdx.Search(terms, depth)
+	}
+	// Linear fallback: nearest-encoding voting, as for images.
+	scores := make(map[index.DocID]float64)
+	for id, obj := range r.objects {
+		if len(obj.audioEncs) == 0 {
+			continue
+		}
+		var s float64
+		for _, qe := range q.AudioEncodings {
+			best := 1.0
+			for _, oe := range obj.audioEncs {
+				if d := vec.NormHamming(qe, oe); d < best {
+					best = d
+				}
+			}
+			s += 1 - best
+		}
+		if s > 0 {
+			scores[index.DocID(id)] = s
+		}
+	}
+	return rankMap(scores, depth)
+}
+
+func rankMap(scores map[index.DocID]float64, depth int) []index.Result {
+	out := make([]index.Result, 0, len(scores))
+	for d, s := range scores {
+		out = append(out, index.Result{Doc: d, Score: s})
+	}
+	index.SortResults(out)
+	if len(out) > depth {
+		out = out[:depth]
+	}
+	return out
+}
+
+// MergeIndexes compacts the disk-spilled portions of the per-modality
+// indexes (the background merge of §VI).
+func (r *Repository) MergeIndexes() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.textIdx != nil {
+		if err := r.textIdx.Merge(); err != nil {
+			return err
+		}
+	}
+	if r.imgIdx != nil {
+		if err := r.imgIdx.Merge(); err != nil {
+			return err
+		}
+	}
+	if r.audioIdx != nil {
+		return r.audioIdx.Merge()
+	}
+	return nil
+}
+
+// Close releases index resources (spill logs).
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.textIdx != nil {
+		if err := r.textIdx.Close(); err != nil {
+			return err
+		}
+	}
+	if r.imgIdx != nil {
+		if err := r.imgIdx.Close(); err != nil {
+			return err
+		}
+	}
+	if r.audioIdx != nil {
+		return r.audioIdx.Close()
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Service errors.
+var (
+	// ErrRepoExists is returned when creating a repository whose id is taken.
+	ErrRepoExists = errors.New("core: repository already exists")
+	// ErrRepoNotFound is returned for operations on unknown repositories.
+	ErrRepoNotFound = errors.New("core: repository not found")
+)
+
+// Service is the MIE server component "as a service": it hosts many
+// independent repositories, each shared by its own set of authorized users
+// (Figure 1). It is the object cmd/mie-server exposes over the network.
+type Service struct {
+	mu    sync.RWMutex
+	repos map[string]*Repository
+}
+
+// NewService creates an empty service.
+func NewService() *Service {
+	return &Service{repos: make(map[string]*Repository)}
+}
+
+// CreateRepository initializes a new repository (Algorithm 5's cloud half).
+func (s *Service) CreateRepository(id string, opts RepositoryOptions) (*Repository, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.repos[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrRepoExists, id)
+	}
+	r, err := NewRepository(id, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.repos[id] = r
+	return r, nil
+}
+
+// Repository returns the engine for a repository id.
+func (s *Service) Repository(id string) (*Repository, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.repos[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrRepoNotFound, id)
+	}
+	return r, nil
+}
+
+// Repositories lists hosted repository ids.
+func (s *Service) Repositories() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.repos))
+	for id := range s.repos {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DropRepository removes a repository and releases its resources.
+func (s *Service) DropRepository(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.repos[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrRepoNotFound, id)
+	}
+	delete(s.repos, id)
+	return r.Close()
+}
+
+// Close releases every hosted repository.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for id, r := range s.repos {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("close %s: %w", id, err)
+		}
+	}
+	s.repos = make(map[string]*Repository)
+	return firstErr
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mie/internal/cluster"
+	"mie/internal/dpe"
+	"mie/internal/vec"
+)
+
+// snapshotMagic guards against loading unrelated files as repositories.
+const snapshotMagic = "MIE-REPO-SNAPSHOT-v1"
+
+// snapshotObject is the serialized form of one stored object.
+type snapshotObject struct {
+	ID         string
+	Owner      string
+	Ciphertext []byte
+	TextTokens map[dpe.Token]uint64
+	ImageEncs  []vec.BitVec
+	AudioEncs  []vec.BitVec
+}
+
+// snapshot is the on-disk form of a Repository. The inverted indexes are
+// NOT serialized: they are derived state, rebuilt deterministically from the
+// stored encodings and vocabulary at load time — simpler, robust against
+// index format evolution, and it exercises the same code path as Train.
+type snapshot struct {
+	Magic      string
+	ID         string
+	Opts       RepositoryOptions
+	Objects    []snapshotObject
+	Trained    bool
+	VocabWords []vec.BitVec
+	AudioWords []vec.BitVec
+}
+
+// Snapshot serializes the repository's durable state to w. Safe to call
+// concurrently with reads; writers are blocked for the duration.
+func (r *Repository) Snapshot(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := snapshot{
+		Magic:   snapshotMagic,
+		ID:      r.id,
+		Opts:    r.opts,
+		Trained: r.trained,
+	}
+	// Index options carry host paths that may not apply on restore; the
+	// loader re-derives them from its own options, so drop them here.
+	snap.Opts.Index.SpillDir = ""
+	snap.Opts.Index.ChampionSize = 0
+	for id, obj := range r.objects {
+		snap.Objects = append(snap.Objects, snapshotObject{
+			ID:         id,
+			Owner:      obj.owner,
+			Ciphertext: obj.ciphertext,
+			TextTokens: obj.textTokens,
+			ImageEncs:  obj.imageEncs,
+			AudioEncs:  obj.audioEncs,
+		})
+	}
+	if r.vocab != nil {
+		snap.VocabWords = r.vocab.Words()
+	}
+	if r.audioVocab != nil {
+		snap.AudioWords = r.audioVocab.Words()
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encode snapshot of %s: %w", r.id, err)
+	}
+	return nil
+}
+
+// ErrBadSnapshot is returned when restoring from data that is not a valid
+// repository snapshot.
+var ErrBadSnapshot = errors.New("core: invalid repository snapshot")
+
+// LoadRepository restores a repository from a snapshot. The vocabulary's
+// lookup tree and the inverted indexes are rebuilt; search results after a
+// restore are identical to before it. Index options (champion lists, spill
+// dir) may be overridden for the new host via opts.
+func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(rd).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if snap.Magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, snap.Magic)
+	}
+	opts := snap.Opts
+	if indexOpts != nil {
+		opts.Index = indexOpts.Index
+	}
+	r, err := NewRepository(snap.ID, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, so := range snap.Objects {
+		r.objects[so.ID] = &storedObject{
+			owner:      so.Owner,
+			ciphertext: so.Ciphertext,
+			textTokens: so.TextTokens,
+			imageEncs:  so.ImageEncs,
+			audioEncs:  so.AudioEncs,
+		}
+	}
+	if !snap.Trained {
+		return r, nil
+	}
+	hamCluster := func(ps []vec.BitVec, k int, seed int64) ([]vec.BitVec, []int, error) {
+		res, err := cluster.HammingKMeans(ps, k, cluster.Options{Seed: seed, MaxIter: r.opts.Vocab.MaxIter})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Centroids, res.Assignments, nil
+	}
+	dist := func(a, b vec.BitVec) float64 { return float64(vec.Hamming(a, b)) }
+	if len(snap.VocabWords) > 0 {
+		vocab, err := cluster.NewVocabularyFromWords(snap.VocabWords, r.opts.Vocab.Tree, hamCluster, dist)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore vocabulary: %w", err)
+		}
+		r.vocab = vocab
+	}
+	if len(snap.AudioWords) > 0 {
+		vocab, err := cluster.NewVocabularyFromWords(snap.AudioWords, r.opts.Vocab.Tree, hamCluster, dist)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore audio vocabulary: %w", err)
+		}
+		r.audioVocab = vocab
+	}
+	if err := r.buildIndexesLocked(); err != nil {
+		return nil, err
+	}
+	r.trained = true
+	return r, nil
+}
+
+// SaveService writes every repository hosted by the service into dir, one
+// snapshot file per repository. Existing snapshots are replaced atomically
+// (write to temp, rename).
+func SaveService(s *Service, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create snapshot dir: %w", err)
+	}
+	for _, id := range s.Repositories() {
+		repo, err := s.Repository(id)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		path := filepath.Join(dir, snapshotFileName(id))
+		tmp, err := os.CreateTemp(dir, ".snap-*")
+		if err != nil {
+			return fmt.Errorf("core: temp snapshot: %w", err)
+		}
+		if err := repo.Snapshot(tmp); err != nil {
+			_ = tmp.Close()           // best effort; the write error wins
+			_ = os.Remove(tmp.Name()) // don't leave partial temp files
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			_ = os.Remove(tmp.Name())
+			return fmt.Errorf("core: close snapshot: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			_ = os.Remove(tmp.Name())
+			return fmt.Errorf("core: commit snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadService restores a service from a snapshot directory written by
+// SaveService. Files that fail to load are reported together; valid
+// repositories still come up (partial availability beats none after a
+// crash).
+func LoadService(dir string, indexOpts *RepositoryOptions) (*Service, error) {
+	s := NewService()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil // fresh install
+		}
+		return nil, fmt.Errorf("core: read snapshot dir: %w", err)
+	}
+	var loadErrs []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", e.Name(), err))
+			continue
+		}
+		repo, err := LoadRepository(f, indexOpts)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", e.Name(), err))
+			continue
+		}
+		s.mu.Lock()
+		s.repos[repo.ID()] = repo
+		s.mu.Unlock()
+	}
+	if len(loadErrs) > 0 {
+		return s, fmt.Errorf("core: %d snapshot(s) failed to load: %s", len(loadErrs), strings.Join(loadErrs, "; "))
+	}
+	return s, nil
+}
+
+// snapshotFileName escapes a repository id into a safe file name.
+func snapshotFileName(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			fmt.Fprintf(&b, "%%%04x", r)
+		}
+	}
+	return b.String() + ".snap"
+}

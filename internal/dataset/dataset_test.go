@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"mie/internal/imaging"
+	"mie/internal/vec"
+)
+
+func TestFlickrDeterministic(t *testing.T) {
+	a := Flickr(FlickrParams{N: 10, Seed: 1})
+	b := Flickr(FlickrParams{N: 10, Seed: 1})
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Text != b[i].Text {
+			t.Fatalf("object %d differs across runs", i)
+		}
+		for j := range a[i].Image.Pix {
+			if a[i].Image.Pix[j] != b[i].Image.Pix[j] {
+				t.Fatalf("object %d image differs across runs", i)
+			}
+		}
+	}
+	c := Flickr(FlickrParams{N: 10, Seed: 2})
+	if c[0].Text == a[0].Text && c[1].Text == a[1].Text {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestFlickrShape(t *testing.T) {
+	objs := Flickr(FlickrParams{N: 24, ImageSize: 32, Seed: 3, Owner: "bob"})
+	if len(objs) != 24 {
+		t.Fatalf("N = %d", len(objs))
+	}
+	ids := make(map[string]bool)
+	for _, o := range objs {
+		if ids[o.ID] {
+			t.Fatalf("duplicate id %s", o.ID)
+		}
+		ids[o.ID] = true
+		if o.Owner != "bob" {
+			t.Errorf("owner = %q", o.Owner)
+		}
+		if o.Image == nil || o.Image.W != 32 {
+			t.Error("bad image")
+		}
+		if len(strings.Fields(o.Text)) < 2 {
+			t.Errorf("object %s has too few tags: %q", o.ID, o.Text)
+		}
+	}
+}
+
+func TestFlickrTopicsShareTags(t *testing.T) {
+	objs := Flickr(FlickrParams{N: 80, Seed: 4})
+	// Objects 0 and 8 share topic 0; their tag vocabularies should overlap
+	// more often than objects of different topics, statistically. Just
+	// check that topic words appear.
+	beachy := 0
+	for i := 0; i < len(objs); i += len(topicWords) {
+		if strings.Contains(objs[i].Text, "beach") || strings.Contains(objs[i].Text, "ocean") ||
+			strings.Contains(objs[i].Text, "sand") || strings.Contains(objs[i].Text, "waves") ||
+			strings.Contains(objs[i].Text, "surf") || strings.Contains(objs[i].Text, "sunny") ||
+			strings.Contains(objs[i].Text, "holiday") || strings.Contains(objs[i].Text, "palm") ||
+			strings.Contains(objs[i].Text, "coast") || strings.Contains(objs[i].Text, "tropical") {
+			beachy++
+		}
+	}
+	if beachy < 5 {
+		t.Errorf("topic-0 objects rarely carry topic-0 tags: %d", beachy)
+	}
+}
+
+func TestTopicImagesClassStructure(t *testing.T) {
+	// Same-topic images must be closer in descriptor space than
+	// different-topic images on average.
+	pyr := imaging.PyramidParams{Scales: []int{16}}
+	d0a := imaging.Extract(TopicImage(32, 0, 1), pyr)
+	d0b := imaging.Extract(TopicImage(32, 0, 2), pyr)
+	d1 := imaging.Extract(TopicImage(32, 1, 3), pyr)
+	var same, diff float64
+	for i := range d0a {
+		same += vec.Euclidean(d0a[i], d0b[i])
+		diff += vec.Euclidean(d0a[i], d1[i])
+	}
+	if same >= diff {
+		t.Errorf("same-topic distance %v >= cross-topic %v", same, diff)
+	}
+}
+
+func TestHolidaysShape(t *testing.T) {
+	set := Holidays(HolidaysParams{Groups: 5, PerGroup: 4, ImageSize: 32, Seed: 5})
+	if len(set.Queries) != 5 {
+		t.Fatalf("queries = %d", len(set.Queries))
+	}
+	if len(set.Objects) != 5*3 {
+		t.Fatalf("objects = %d, want 15 (queries excluded)", len(set.Objects))
+	}
+	objIDs := make(map[string]bool, len(set.Objects))
+	for _, o := range set.Objects {
+		objIDs[o.ID] = true
+	}
+	for _, q := range set.Queries {
+		if len(q.Relevant) != 3 {
+			t.Errorf("query %s has %d relevant", q.Query.ID, len(q.Relevant))
+		}
+		for _, r := range q.Relevant {
+			if !objIDs[r] {
+				t.Errorf("relevant id %s not in corpus", r)
+			}
+		}
+		if objIDs[q.Query.ID] {
+			t.Errorf("query %s leaked into corpus", q.Query.ID)
+		}
+	}
+}
+
+func TestHolidaysGroupsAreNearDuplicates(t *testing.T) {
+	set := Holidays(HolidaysParams{Groups: 3, PerGroup: 3, ImageSize: 32, Seed: 6})
+	pyr := imaging.PyramidParams{Scales: []int{16}}
+	q := imaging.Extract(set.Queries[0].Query.Image, pyr)
+	// Distance to first variant of same group vs first object of another group.
+	sameGroup := imaging.Extract(set.Objects[0].Image, pyr)  // g0 v1
+	otherGroup := imaging.Extract(set.Objects[2].Image, pyr) // g1 v1
+	var same, other float64
+	for i := range q {
+		same += vec.Euclidean(q[i], sameGroup[i])
+		other += vec.Euclidean(q[i], otherGroup[i])
+	}
+	if same >= other {
+		t.Errorf("query closer to wrong group: same=%v other=%v", same, other)
+	}
+}
+
+func TestHolidaysDeterministic(t *testing.T) {
+	a := Holidays(HolidaysParams{Groups: 2, Seed: 7})
+	b := Holidays(HolidaysParams{Groups: 2, Seed: 7})
+	for i := range a.Objects {
+		for j := range a.Objects[i].Image.Pix {
+			if a.Objects[i].Image.Pix[j] != b.Objects[i].Image.Pix[j] {
+				t.Fatal("holidays not deterministic")
+			}
+		}
+	}
+}
+
+func TestSyntheticTextShape(t *testing.T) {
+	docs := SyntheticText(SyntheticTextParams{N: 50, VocabSize: 100, WordsPerDoc: 10, Seed: 9})
+	if len(docs) != 50 {
+		t.Fatalf("N = %d", len(docs))
+	}
+	vocab := make(map[string]bool)
+	for _, d := range docs {
+		if d.Image != nil {
+			t.Fatal("text corpus has images")
+		}
+		words := strings.Fields(d.Text)
+		if len(words) < 3 {
+			t.Errorf("doc %s too short: %q", d.ID, d.Text)
+		}
+		for _, w := range words {
+			vocab[w] = true
+		}
+	}
+	if len(vocab) < 20 || len(vocab) > 100 {
+		t.Errorf("observed vocabulary %d, want a healthy fraction of 100", len(vocab))
+	}
+}
+
+func TestSyntheticTextDeterministic(t *testing.T) {
+	a := SyntheticText(SyntheticTextParams{N: 10, Seed: 4})
+	b := SyntheticText(SyntheticTextParams{N: 10, Seed: 4})
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatal("not deterministic")
+		}
+	}
+	c := SyntheticText(SyntheticTextParams{N: 10, Seed: 5})
+	same := 0
+	for i := range a {
+		if a[i].Text == c[i].Text {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}

@@ -1,0 +1,71 @@
+// Package eval implements the retrieval-quality metrics of the paper's
+// precision experiment (Table III): average precision per query and mean
+// average precision (mAP) over a query set, computed exactly as the INRIA
+// Holidays evaluation package does — the query itself is excluded by
+// construction and every relevant item missing from the ranking contributes
+// zero precision.
+package eval
+
+import "fmt"
+
+// AveragePrecision computes AP of one ranked result list against the set of
+// relevant ids: the mean of precision@rank over the ranks where a relevant
+// item appears, divided by the total number of relevant items.
+func AveragePrecision(ranked []string, relevant []string) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	rel := make(map[string]struct{}, len(relevant))
+	for _, r := range relevant {
+		rel[r] = struct{}{}
+	}
+	var hits int
+	var sum float64
+	for i, id := range ranked {
+		if _, ok := rel[id]; !ok {
+			continue
+		}
+		delete(rel, id) // count duplicates in the ranking only once
+		hits++
+		sum += float64(hits) / float64(i+1)
+	}
+	return sum / float64(len(relevant))
+}
+
+// PrecisionAtK is the fraction of the top k results that are relevant.
+func PrecisionAtK(ranked []string, relevant []string, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	rel := make(map[string]struct{}, len(relevant))
+	for _, r := range relevant {
+		rel[r] = struct{}{}
+	}
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	var hits int
+	for _, id := range ranked {
+		if _, ok := rel[id]; ok {
+			hits++
+			delete(rel, id)
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// MeanAveragePrecision averages AP over queries. Rankings and truths must
+// be parallel slices.
+func MeanAveragePrecision(rankings [][]string, truths [][]string) (float64, error) {
+	if len(rankings) != len(truths) {
+		return 0, fmt.Errorf("eval: %d rankings vs %d truths", len(rankings), len(truths))
+	}
+	if len(rankings) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range rankings {
+		sum += AveragePrecision(rankings[i], truths[i])
+	}
+	return sum / float64(len(rankings)), nil
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAveragePrecision(t *testing.T) {
+	tests := []struct {
+		name     string
+		ranked   []string
+		relevant []string
+		want     float64
+	}{
+		{name: "perfect", ranked: []string{"a", "b"}, relevant: []string{"a", "b"}, want: 1},
+		{name: "empty relevant", ranked: []string{"a"}, relevant: nil, want: 0},
+		{name: "nothing found", ranked: []string{"x", "y"}, relevant: []string{"a"}, want: 0},
+		{name: "half", ranked: []string{"a", "x"}, relevant: []string{"a", "b"}, want: 0.5},
+		{name: "second position", ranked: []string{"x", "a"}, relevant: []string{"a"}, want: 0.5},
+		{name: "textbook", ranked: []string{"a", "x", "b"}, relevant: []string{"a", "b"}, want: (1.0 + 2.0/3.0) / 2},
+		{name: "duplicate counted once", ranked: []string{"a", "a"}, relevant: []string{"a", "b"}, want: 0.5},
+		{name: "missing relevant penalized", ranked: []string{"a"}, relevant: []string{"a", "b", "c"}, want: 1.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AveragePrecision(tt.ranked, tt.relevant); !almost(got, tt.want) {
+				t.Errorf("AP = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []string{"a", "x", "b", "y"}
+	relevant := []string{"a", "b"}
+	if got := PrecisionAtK(ranked, relevant, 2); !almost(got, 0.5) {
+		t.Errorf("P@2 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(ranked, relevant, 4); !almost(got, 0.5) {
+		t.Errorf("P@4 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(ranked, relevant, 0); got != 0 {
+		t.Errorf("P@0 = %v, want 0", got)
+	}
+	if got := PrecisionAtK([]string{"a"}, relevant, 5); !almost(got, 0.2) {
+		t.Errorf("short ranking P@5 = %v, want 0.2", got)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	m, err := MeanAveragePrecision(
+		[][]string{{"a"}, {"x", "b"}},
+		[][]string{{"a"}, {"b"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m, 0.75) {
+		t.Errorf("mAP = %v, want 0.75", m)
+	}
+	if _, err := MeanAveragePrecision([][]string{{"a"}}, nil); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	m, err = MeanAveragePrecision(nil, nil)
+	if err != nil || m != 0 {
+		t.Errorf("empty mAP = (%v,%v)", m, err)
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mie/internal/core"
+	"mie/internal/crypto"
+	"mie/internal/device"
+	"mie/internal/dpe"
+	"mie/internal/hommsse"
+	"mie/internal/imaging"
+	"mie/internal/msse"
+)
+
+// Scheme names as they appear in the figures.
+const (
+	SchemeMSSE    = "MSSE"
+	SchemeHomMSSE = "Hom-MSSE"
+	SchemeMIE     = "MIE"
+	SchemePlain   = "Plaintext"
+)
+
+// Schemes lists the comparison order of the figures.
+func Schemes() []string { return []string{SchemeMSSE, SchemeHomMSSE, SchemeMIE} }
+
+func masterKey(b byte) crypto.Key {
+	var k crypto.Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func dataKey() crypto.Key { return masterKey(0xD7) }
+
+// mieStack bundles an in-process MIE deployment.
+type mieStack struct {
+	client *core.Client
+	repo   *core.Repository
+	meter  *device.Meter
+}
+
+func newMIE(cfg Config, meter *device.Meter, repoID string) (*mieStack, error) {
+	// OutDim 2048 keeps encodings at least as large as the plaintext
+	// descriptors (64 float32s), the condition §VII-D gives for Dense-DPE
+	// not to hurt retrieval precision.
+	client, err := core.NewClient(core.ClientConfig{
+		Key:     core.RepositoryKey{Master: masterKey(1)},
+		Dense:   dpe.DenseParams{InDim: imaging.DescriptorDim, OutDim: 2048, Threshold: 0.5},
+		Pyramid: cfg.pyramid(),
+		Meter:   meter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	repo, err := core.NewRepository(repoID, core.RepositoryOptions{Vocab: cfg.vocab()})
+	if err != nil {
+		return nil, err
+	}
+	return &mieStack{client: client, repo: repo, meter: meter}, nil
+}
+
+// estimateUpdateBytes approximates the wire size of a MIE update payload
+// (ciphertext + tokens + packed encodings + framing) without paying for a
+// second gob encode on the hot path.
+func estimateUpdateBytes(up *core.Update) int64 {
+	n := int64(len(up.Ciphertext)) + 64
+	n += int64(len(up.TextTokens)) * (32 + 8)
+	for _, e := range up.ImageEncodings {
+		n += int64((e.Len()+63)/64*8) + 8
+	}
+	return n
+}
+
+// estimateQueryBytes approximates a MIE query payload size.
+func estimateQueryBytes(q *core.Query) int64 {
+	n := int64(64)
+	n += int64(len(q.TextTokens)) * (32 + 8)
+	for _, e := range q.ImageEncodings {
+		n += int64((e.Len()+63)/64*8) + 8
+	}
+	return n
+}
+
+// add uploads one object through the MIE pipeline, accounting transfer cost.
+func (m *mieStack) add(obj *core.Object) error {
+	up, err := m.client.PrepareUpdate(obj, dataKey())
+	if err != nil {
+		return fmt.Errorf("mie update %s: %w", obj.ID, err)
+	}
+	if m.meter != nil {
+		m.meter.AddTransfer(device.Network, estimateUpdateBytes(up), 0)
+	}
+	return m.repo.Update(up)
+}
+
+// msseStack bundles an in-process MSSE deployment.
+type msseStack struct {
+	client *msse.Client
+	server *msse.Server
+	repoID string
+}
+
+func newMSSE(cfg Config, meter *device.Meter, repoID string) (*msseStack, error) {
+	s := msse.NewServer()
+	if err := s.CreateRepository(repoID); err != nil {
+		return nil, err
+	}
+	c := msse.NewClient(msse.ClientConfig{
+		Keys:    msse.NewKeys(masterKey(2)),
+		Pyramid: cfg.pyramid(),
+		Vocab:   cfg.vocab(),
+		Meter:   meter,
+	})
+	return &msseStack{client: c, server: s, repoID: repoID}, nil
+}
+
+// homStack bundles an in-process Hom-MSSE deployment.
+type homStack struct {
+	client *hommsse.Client
+	server *hommsse.Server
+	repoID string
+	keys   hommsse.Keys
+}
+
+// homKeys caches the Paillier pair per modulus size: key generation is the
+// single most expensive setup step and the experiments only need key
+// *usage* costs, which are independent of which particular pair is used.
+var homKeys = map[int]hommsse.Keys{}
+
+func newHomMSSE(cfg Config, meter *device.Meter, repoID string) (*homStack, error) {
+	keys, ok := homKeys[cfg.PaillierBits]
+	if !ok {
+		var err error
+		keys, err = hommsse.NewKeys(masterKey(3), cfg.PaillierBits)
+		if err != nil {
+			return nil, err
+		}
+		homKeys[cfg.PaillierBits] = keys
+	}
+	s := hommsse.NewServer()
+	if err := s.CreateRepository(repoID, &keys.Hom.PublicKey); err != nil {
+		return nil, err
+	}
+	c := hommsse.NewClient(hommsse.ClientConfig{
+		Keys:    keys,
+		Pyramid: cfg.pyramid(),
+		Vocab:   cfg.vocab(),
+		Padding: 0.6,
+		Meter:   meter,
+	})
+	return &homStack{client: c, server: s, repoID: repoID, keys: keys}, nil
+}
+
+// homQueryClient builds a second Hom-MSSE client sharing the build stack's
+// keys and codebook but metering onto a different device profile.
+func homQueryClient(cfg Config, meter *device.Meter, build *homStack) *hommsse.Client {
+	c := hommsse.NewClient(hommsse.ClientConfig{
+		Keys:    build.keys,
+		Pyramid: cfg.pyramid(),
+		Vocab:   cfg.vocab(),
+		Padding: 0.6,
+		Meter:   meter,
+	})
+	c.SetCodebook(build.client.Codebook())
+	return c
+}
+
+// toMSSEDoc converts a core object into the baseline's document type.
+func toMSSEDoc(o *core.Object) *msse.Doc {
+	return &msse.Doc{ID: o.ID, Owner: o.Owner, Text: o.Text, Image: o.Image}
+}
+
+// toHomDoc converts a core object into the Hom-MSSE document type.
+func toHomDoc(o *core.Object) *hommsse.Doc {
+	return &hommsse.Doc{ID: o.ID, Owner: o.Owner, Text: o.Text, Image: o.Image}
+}
+
+// mieSparseKey re-derives the Sparse-DPE key of the experiments' MIE client
+// (the experimenter's ground-truth oracle for the attack experiment).
+func mieSparseKey() crypto.Key {
+	return crypto.DeriveKey(masterKey(1), "rk2")
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"time"
+
+	"mie/internal/core"
+	"mie/internal/dataset"
+	"mie/internal/device"
+)
+
+// SearchRow is one bar group of Figure 5: the end-to-end latency of one
+// multimodal query on a trained repository of SearchRepoSize objects, per
+// scheme and device.
+type SearchRow struct {
+	Scheme string
+	Device string
+
+	Encrypt time.Duration
+	Network time.Duration
+	Index   time.Duration
+	Total   time.Duration
+}
+
+// SearchExperiment reproduces Figure 5. Each scheme's repository is built
+// and trained once; the measured phase is the query alone, averaged over
+// `queries` runs (the paper reports single-query latency).
+func SearchExperiment(cfg Config) ([]SearchRow, error) {
+	const queries = 5
+	corpus := dataset.Flickr(dataset.FlickrParams{
+		N:         cfg.SearchRepoSize,
+		ImageSize: cfg.ImageSize,
+		Seed:      cfg.Seed,
+	})
+	queryObj := dataset.Flickr(dataset.FlickrParams{
+		N:         1,
+		ImageSize: cfg.ImageSize,
+		Seed:      cfg.Seed + 999,
+	})[0]
+
+	var rows []SearchRow
+	profiles := []device.Profile{device.Desktop, device.Mobile}
+
+	// MIE ----------------------------------------------------------------
+	mieBuild, err := newMIE(cfg, nil, "srch-mie")
+	if err != nil {
+		return nil, err
+	}
+	for _, obj := range corpus {
+		if err := mieBuild.add(obj); err != nil {
+			return nil, err
+		}
+	}
+	if err := mieBuild.repo.Train(); err != nil {
+		return nil, err
+	}
+	for _, p := range profiles {
+		meter := device.NewMeter(p)
+		// A meter-bound client shares the repository key, so it produces
+		// identical trapdoors; only cost attribution differs.
+		stack, err := newMIE(cfg, meter, "srch-mie-client")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < queries; i++ {
+			q, err := stack.client.PrepareQuery(queryObj, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			meter.AddTransfer(device.Network, estimateQueryBytes(q), 0)
+			start := time.Now()
+			hits, err := mieBuild.repo.Search(q)
+			if err != nil {
+				return nil, err
+			}
+			meter.AddServerTime(device.Network, time.Since(start))
+			var down int64
+			for _, h := range hits {
+				down += int64(len(h.Ciphertext))
+			}
+			meter.AddTransfer(device.Network, 0, down)
+		}
+		rows = append(rows, searchRow(SchemeMIE, p, meter, queries))
+	}
+
+	// MSSE ----------------------------------------------------------------
+	msseBuild, err := newMSSE(cfg, nil, "srch-msse")
+	if err != nil {
+		return nil, err
+	}
+	for _, obj := range corpus {
+		if err := msseBuild.client.Update(msseBuild.server, msseBuild.repoID, toMSSEDoc(obj), dataKey()); err != nil {
+			return nil, err
+		}
+	}
+	if err := msseBuild.client.Train(msseBuild.server, msseBuild.repoID); err != nil {
+		return nil, err
+	}
+	for _, p := range profiles {
+		meter := device.NewMeter(p)
+		qc, err := newMSSE(cfg, meter, "srch-msse-q-"+p.Name)
+		if err != nil {
+			return nil, err
+		}
+		qc.client.SetCodebook(msseBuild.client.Codebook())
+		for i := 0; i < queries; i++ {
+			if _, err := qc.client.Search(msseBuild.server, msseBuild.repoID, toMSSEDoc(queryObj), cfg.K); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, searchRow(SchemeMSSE, p, meter, queries))
+	}
+
+	// Hom-MSSE --------------------------------------------------------------
+	homBuild, err := newHomMSSE(cfg, nil, "srch-hom")
+	if err != nil {
+		return nil, err
+	}
+	for _, obj := range corpus {
+		if err := homBuild.client.Update(homBuild.server, homBuild.repoID, toHomDoc(obj), dataKey()); err != nil {
+			return nil, err
+		}
+	}
+	if err := homBuild.client.Train(homBuild.server, homBuild.repoID); err != nil {
+		return nil, err
+	}
+	for _, p := range profiles {
+		meter := device.NewMeter(p)
+		// Reuse the builder's keys (a fresh stack would have a new Paillier
+		// pair and could not read the repository).
+		qc := homQueryClient(cfg, meter, homBuild)
+		for i := 0; i < queries; i++ {
+			if _, err := qc.Search(homBuild.server, homBuild.repoID, toHomDoc(queryObj), cfg.K); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, searchRow(SchemeHomMSSE, p, meter, queries))
+	}
+	return rows, nil
+}
+
+func searchRow(scheme string, p device.Profile, meter *device.Meter, queries int) SearchRow {
+	div := func(d time.Duration) time.Duration { return d / time.Duration(queries) }
+	return SearchRow{
+		Scheme:  scheme,
+		Device:  p.Name,
+		Encrypt: div(meter.Time(device.Encrypt)),
+		Network: div(meter.Time(device.Network)),
+		Index:   div(meter.Time(device.Index)),
+		Total:   div(meter.Total()),
+	}
+}
+
+// mieSearchOnce is shared with Table 1's empirical scaling check.
+func mieSearchOnce(stack *mieStack, query *core.Object, k int) (time.Duration, error) {
+	q, err := stack.client.PrepareQuery(query, k)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := stack.repo.Search(q); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,124 @@
+package fusion
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mie/internal/index"
+)
+
+func list(docs ...index.DocID) []index.Result {
+	out := make([]index.Result, len(docs))
+	for i, d := range docs {
+		out[i] = index.Result{Doc: d, Score: float64(len(docs) - i)}
+	}
+	return out
+}
+
+func TestFuseEmpty(t *testing.T) {
+	if got := Fuse(LogISR, nil, 5); len(got) != 0 {
+		t.Errorf("fusing nothing returned %v", got)
+	}
+	if got := Fuse(LogISR, [][]index.Result{list("a")}, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+}
+
+func TestFuseSingleModalityPreservesOrder(t *testing.T) {
+	in := list("a", "b", "c")
+	got := Fuse(LogISR, [][]index.Result{in}, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, want := range []index.DocID{"a", "b", "c"} {
+		if got[i].Doc != want {
+			t.Errorf("pos %d = %s, want %s", i, got[i].Doc, want)
+		}
+	}
+}
+
+func TestFuseMultimodalAgreementWins(t *testing.T) {
+	// "both" is rank 1 in text and rank 2 in images; the other docs top one
+	// modality each. Cross-modality agreement should put "both" first:
+	// (1 + 1/4)·log(3) beats 1·log(2).
+	textList := list("both", "t2", "t3")
+	imageList := list("v1", "both", "v3")
+	got := Fuse(LogISR, [][]index.Result{textList, imageList}, 5)
+	if got[0].Doc != "both" {
+		t.Errorf("top = %s, want both (cross-modality agreement boost): %v", got[0].Doc, got)
+	}
+}
+
+func TestFuseISRNoBoost(t *testing.T) {
+	// Under plain ISR the agreement doc at ranks (2,2) scores 2/4 = 0.5 <
+	// 1.0 of the rank-1 singletons.
+	textList := list("t1", "both")
+	imageList := list("v1", "both")
+	got := Fuse(ISR, [][]index.Result{textList, imageList}, 5)
+	if got[0].Doc == "both" {
+		t.Errorf("plain ISR should not boost agreement above rank-1 hits: %v", got)
+	}
+}
+
+func TestFuseTopKTruncation(t *testing.T) {
+	got := Fuse(LogISR, [][]index.Result{list("a", "b", "c", "d", "e")}, 2)
+	if len(got) != 2 {
+		t.Errorf("got %d results, want 2", len(got))
+	}
+}
+
+func TestFuseRanksDescending(t *testing.T) {
+	got := Fuse(RRF, [][]index.Result{list("a", "b", "c"), list("c", "a")}, 10)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Score < got[i].Score {
+			t.Errorf("scores not descending at %d: %v", i, got)
+		}
+	}
+}
+
+func TestFuseDeterministicTies(t *testing.T) {
+	a := Fuse(LogISR, [][]index.Result{list("x", "y"), list("y", "x")}, 2)
+	b := Fuse(LogISR, [][]index.Result{list("x", "y"), list("y", "x")}, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("fusion not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFuseBoundsProperty(t *testing.T) {
+	f := func(sizes [3]uint8, k uint8) bool {
+		var lists [][]index.Result
+		distinct := map[index.DocID]struct{}{}
+		for li, sz := range sizes {
+			n := int(sz % 20)
+			var l []index.Result
+			for i := 0; i < n; i++ {
+				d := index.DocID(fmt.Sprintf("d%d-%d", li, i%7))
+				l = append(l, index.Result{Doc: d, Score: float64(n - i)})
+				distinct[d] = struct{}{}
+			}
+			lists = append(lists, l)
+		}
+		kk := int(k%10) + 1
+		out := Fuse(LogISR, lists, kk)
+		if len(out) > kk || len(out) > len(distinct) {
+			return false
+		}
+		seen := map[index.DocID]struct{}{}
+		for i, r := range out {
+			if _, dup := seen[r.Doc]; dup {
+				return false // no duplicate docs in fused output
+			}
+			seen[r.Doc] = struct{}{}
+			if i > 0 && out[i-1].Score < r.Score {
+				return false // descending
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,1048 @@
+// Package hommsse implements Hom-MSSE, the paper's second baseline
+// (Appendix, Figure 8): MSSE with partially homomorphic (Paillier)
+// cryptography in two roles:
+//
+//   - per-keyword counters are Paillier ciphertexts the *server* increments
+//     homomorphically, removing MSSE's client coordination lock (writers
+//     send encrypted increments of 1, padded with encrypted 0s);
+//   - keyword frequencies are Paillier ciphertexts, so the server
+//     accumulates TF-IDF scores without ever learning frequency patterns —
+//     the Table I row where search leakage shrinks to ID(w), ID(d).
+//
+// The price is heavy client cryptography (the tallest bars of Figures 2/3/6)
+// and client-side sorting: the server returns encrypted per-document scores
+// for every candidate, and the client decrypts, sorts and rank-fuses.
+package hommsse
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mie/internal/cluster"
+	"mie/internal/crypto"
+	"mie/internal/device"
+	"mie/internal/dpe"
+	"mie/internal/fusion"
+	"mie/internal/imaging"
+	"mie/internal/index"
+	"mie/internal/paillier"
+	"mie/internal/text"
+)
+
+// Modality labels.
+const (
+	ModText  = "text"
+	ModImage = "image"
+)
+
+// scoreScale converts the float weight freqq*idf into the integer domain
+// Paillier works in; the client divides it back out after decryption.
+const scoreScale = 1000
+
+// Keys is the Hom-MSSE client key material: the symmetric keys of MSSE plus
+// the Paillier keypair (rk2R = {HomPub, HomPriv} in Figure 8).
+type Keys struct {
+	RK1  crypto.Key
+	RKID crypto.Key
+	Hom  *paillier.PrivateKey
+}
+
+// NewKeys derives symmetric keys from the master key and generates a fresh
+// Paillier pair of the given modulus size.
+func NewKeys(master crypto.Key, paillierBits int) (Keys, error) {
+	hom, err := paillier.GenerateKey(nil, paillierBits)
+	if err != nil {
+		return Keys{}, err
+	}
+	return Keys{
+		RK1:  crypto.DeriveKey(master, "hommsse-rk1"),
+		RKID: crypto.DeriveKey(master, "hommsse-rkid"),
+		Hom:  hom,
+	}, nil
+}
+
+// featureBlob matches msse's encrypted feature upload.
+type featureBlob struct {
+	Terms []text.Term
+	Descs [][]float64
+}
+
+// Posting is one index entry: position, plaintext doc id, Paillier-encrypted
+// frequency.
+type Posting struct {
+	L       string
+	Doc     string
+	EncFreq []byte // big.Int bytes
+}
+
+// ModalityUpdate carries one modality's postings.
+type ModalityUpdate struct {
+	Modality string
+	Postings []Posting
+}
+
+// CtrIncrement asks the server to homomorphically add EncInc (an encryption
+// of 1 for real terms, 0 for padding) to the counter of TermID.
+type CtrIncrement struct {
+	TermID string
+	EncInc []byte
+}
+
+// SearchTerm carries one query term's candidate positions and the public
+// integer weight the server multiplies into the encrypted frequencies.
+type SearchTerm struct {
+	Positions []string
+	QueryFreq uint64
+}
+
+// ModalityQuery is one modality's trapdoors.
+type ModalityQuery struct {
+	Modality string
+	Terms    []SearchTerm
+}
+
+// DocScore is the server's per-document encrypted score.
+type DocScore struct {
+	Doc      string
+	Owner    string
+	EncScore []byte
+	Cipher   []byte
+}
+
+// Hit is a decrypted, ranked result.
+type Hit struct {
+	Doc        string
+	Owner      string
+	Score      float64
+	Ciphertext []byte
+}
+
+// Server errors.
+var (
+	ErrRepoExists   = errors.New("hommsse: repository exists")
+	ErrRepoNotFound = errors.New("hommsse: repository not found")
+)
+
+type objRecord struct {
+	owner      string
+	ciphertext []byte
+}
+
+type entry struct {
+	doc     string
+	encFreq []byte
+}
+
+type repo struct {
+	mu      sync.Mutex
+	pub     *paillier.PublicKey
+	objects map[string]objRecord
+	fvs     map[string][]byte
+	ctrs    map[string]map[string][]byte // modality -> termID -> Paillier ct
+	idx     map[string]map[string]entry
+}
+
+// Server is the untrusted Hom-MSSE cloud component. It holds the Paillier
+// public key so it can initialize counters to E(0) and operate on them.
+type Server struct {
+	mu    sync.RWMutex
+	repos map[string]*repo
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{repos: make(map[string]*repo)}
+}
+
+// CreateRepository initializes a repository bound to a Paillier public key.
+func (s *Server) CreateRepository(id string, pub *paillier.PublicKey) error {
+	if pub == nil {
+		return errors.New("hommsse: repository needs a Paillier public key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.repos[id]; ok {
+		return fmt.Errorf("%w: %s", ErrRepoExists, id)
+	}
+	s.repos[id] = &repo{
+		pub:     pub,
+		objects: make(map[string]objRecord),
+		fvs:     make(map[string][]byte),
+		ctrs:    make(map[string]map[string][]byte),
+		idx:     make(map[string]map[string]entry),
+	}
+	return nil
+}
+
+func (s *Server) repo(id string) (*repo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.repos[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrRepoNotFound, id)
+	}
+	return r, nil
+}
+
+// GetAndIncCtrs returns each requested counter's current encrypted value
+// and then increments it homomorphically by the supplied encrypted amount
+// (CLOUD.GetAndIncCtrs). Absent counters are initialized to E(0). Because
+// the read-and-increment is atomic per call, concurrent writers never see
+// the same counter value: no lock round trip, unlike MSSE.
+func (s *Server) GetAndIncCtrs(repoID string, incs map[string][]CtrIncrement) (map[string]map[string][]byte, error) {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]map[string][]byte, len(incs))
+	for modality, list := range incs {
+		mc := r.ctrs[modality]
+		if mc == nil {
+			mc = make(map[string][]byte)
+			r.ctrs[modality] = mc
+		}
+		om := make(map[string][]byte, len(list))
+		for _, inc := range list {
+			cur, ok := mc[inc.TermID]
+			if !ok {
+				zero, err := r.pub.EncryptUint64(nil, 0)
+				if err != nil {
+					return nil, fmt.Errorf("hommsse: init counter: %w", err)
+				}
+				cur = zero.Bytes()
+				mc[inc.TermID] = cur
+			}
+			om[inc.TermID] = cur
+			sum, err := r.pub.Add(new(big.Int).SetBytes(cur), new(big.Int).SetBytes(inc.EncInc))
+			if err != nil {
+				return nil, fmt.Errorf("hommsse: increment counter %s: %w", inc.TermID, err)
+			}
+			mc[inc.TermID] = sum.Bytes()
+		}
+		out[modality] = om
+	}
+	return out, nil
+}
+
+// GetCtrs is the read-only counter fetch used by Search.
+func (s *Server) GetCtrs(repoID string, terms map[string][]string) (map[string]map[string][]byte, error) {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]map[string][]byte, len(terms))
+	for modality, ids := range terms {
+		om := make(map[string][]byte, len(ids))
+		for _, id := range ids {
+			if ct, ok := r.ctrs[modality][id]; ok {
+				om[id] = ct
+			}
+		}
+		out[modality] = om
+	}
+	return out, nil
+}
+
+// Update stores an object with its postings (no lock protocol needed).
+func (s *Server) Update(repoID, docID, owner string, ciphertext, encFvs []byte, updates []ModalityUpdate) error {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removeLocked(docID)
+	r.objects[docID] = objRecord{owner: owner, ciphertext: ciphertext}
+	r.fvs[docID] = encFvs
+	for _, mu := range updates {
+		im := r.idx[mu.Modality]
+		if im == nil {
+			im = make(map[string]entry)
+			r.idx[mu.Modality] = im
+		}
+		for _, p := range mu.Postings {
+			im[p.L] = entry{doc: p.Doc, encFreq: p.EncFreq}
+		}
+	}
+	return nil
+}
+
+// UntrainedUpdate stores ciphertext and features before training.
+func (s *Server) UntrainedUpdate(repoID, docID, owner string, ciphertext, encFvs []byte) error {
+	return s.Update(repoID, docID, owner, ciphertext, encFvs, nil)
+}
+
+// Remove deletes an object and its postings (plaintext ids in values).
+func (s *Server) Remove(repoID, docID string) error {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removeLocked(docID)
+	return nil
+}
+
+func (r *repo) removeLocked(docID string) {
+	delete(r.objects, docID)
+	delete(r.fvs, docID)
+	for _, im := range r.idx {
+		for l, e := range im {
+			if e.doc == docID {
+				delete(im, l)
+			}
+		}
+	}
+}
+
+// GetFeatures returns all encrypted feature blobs for client-side training.
+func (s *Server) GetFeatures(repoID string) (map[string][]byte, error) {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]byte, len(r.fvs))
+	for id, b := range r.fvs {
+		out[id] = b
+	}
+	return out, nil
+}
+
+// ObjectCount reports |Rep|.
+func (s *Server) ObjectCount(repoID string) (int, error) {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.objects), nil
+}
+
+// Search runs the homomorphic scoring of Figure 8: for each query term the
+// server gathers the candidate postings, derives the public weight
+// round(scoreScale·freqq·idf), multiplies it into each encrypted frequency
+// (HomMult) and accumulates per-document encrypted scores (HomAdd). It
+// returns every candidate with its encrypted score and ciphertext; ranking
+// happens client-side.
+func (s *Server) Search(repoID string, queries []ModalityQuery) (map[string][]DocScore, error) {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.objects)
+	out := make(map[string][]DocScore, len(queries))
+	for _, mq := range queries {
+		im := r.idx[mq.Modality]
+		scores := make(map[string]*big.Int)
+		for _, st := range mq.Terms {
+			var found []entry
+			for _, l := range st.Positions {
+				if e, ok := im[l]; ok {
+					found = append(found, e)
+				}
+			}
+			if len(found) == 0 || n == 0 {
+				continue
+			}
+			idf := math.Log(float64(n) / float64(len(found)))
+			if idf < 0 {
+				idf = 0
+			}
+			weight := int64(math.Round(scoreScale * float64(st.QueryFreq) * idf))
+			if weight == 0 {
+				continue
+			}
+			for _, e := range found {
+				scaled, err := r.pub.ScalarMul(new(big.Int).SetBytes(e.encFreq), big.NewInt(weight))
+				if err != nil {
+					return nil, fmt.Errorf("hommsse: HomMult: %w", err)
+				}
+				if acc, ok := scores[e.doc]; ok {
+					sum, err := r.pub.Add(acc, scaled)
+					if err != nil {
+						return nil, fmt.Errorf("hommsse: HomAdd: %w", err)
+					}
+					scores[e.doc] = sum
+				} else {
+					scores[e.doc] = scaled
+				}
+			}
+		}
+		list := make([]DocScore, 0, len(scores))
+		for doc, enc := range scores {
+			o, ok := r.objects[doc]
+			if !ok {
+				continue
+			}
+			list = append(list, DocScore{Doc: doc, Owner: o.owner, EncScore: enc.Bytes(), Cipher: o.ciphertext})
+		}
+		out[mq.Modality] = list
+	}
+	return out, nil
+}
+
+// GetObjects supports the untrained linear search.
+func (s *Server) GetObjects(repoID string) (map[string]Hit, error) {
+	r, err := s.repo(repoID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Hit, len(r.objects))
+	for id, o := range r.objects {
+		out[id] = Hit{Doc: id, Owner: o.owner, Ciphertext: o.ciphertext}
+	}
+	return out, nil
+}
+
+// ClientConfig configures a Hom-MSSE client.
+type ClientConfig struct {
+	Keys    Keys
+	Pyramid imaging.PyramidParams
+	// Vocab shapes visual-word training: flat k-means to Vocab.Words words
+	// (paper: 1000) plus a lookup tree over the words.
+	Vocab cluster.VocabParams
+	// Padding is the number of dummy (encrypted-zero) counter increments
+	// added per update; the appendix cites 1.6x padding as sufficient
+	// against keyword-retrieval attacks. Expressed as extra increments per
+	// real term, rounded up. Zero disables padding.
+	Padding float64
+	Meter   *device.Meter
+}
+
+// Client is the trusted Hom-MSSE client.
+type Client struct {
+	keys    Keys
+	pyr     imaging.PyramidParams
+	vocab   cluster.VocabParams
+	padding float64
+	meter   *device.Meter
+
+	mu       sync.Mutex
+	codebook *cluster.Vocabulary[[]float64]
+}
+
+// NewClient builds a client component.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Vocab.Words == 0 {
+		cfg.Vocab.Words = 1000
+	}
+	if cfg.Vocab.Tree.Branch == 0 {
+		cfg.Vocab.Tree.Branch = 10
+	}
+	if cfg.Vocab.Tree.Height == 0 {
+		cfg.Vocab.Tree.Height = 3
+	}
+	return &Client{
+		keys:    cfg.Keys,
+		pyr:     cfg.Pyramid,
+		vocab:   cfg.Vocab,
+		padding: cfg.Padding,
+		meter:   cfg.Meter,
+	}
+}
+
+// SetCodebook installs a codebook trained by another user.
+func (c *Client) SetCodebook(cb *cluster.Vocabulary[[]float64]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.codebook = cb
+}
+
+// Codebook returns the trained codebook (nil before training).
+func (c *Client) Codebook() *cluster.Vocabulary[[]float64] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codebook
+}
+
+// IsTrained reports whether the client holds a codebook.
+func (c *Client) IsTrained() bool { return c.Codebook() != nil }
+
+func (c *Client) timeCPU(cat device.Category, fn func()) {
+	if c.meter == nil {
+		fn()
+		return
+	}
+	c.meter.TimeCPU(cat, fn)
+}
+
+func (c *Client) addTransfer(cat device.Category, up, down int64) {
+	if c.meter == nil {
+		return
+	}
+	c.meter.AddTransfer(cat, up, down)
+}
+
+// Doc mirrors msse.Doc.
+type Doc struct {
+	ID    string
+	Owner string
+	Text  string
+	Image *imaging.Image
+}
+
+func (d *Doc) marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, fmt.Errorf("hommsse: marshal doc: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (c *Client) extract(obj *Doc) ([]text.Term, [][]float64) {
+	var terms []text.Term
+	var descs [][]float64
+	c.timeCPU(device.Index, func() {
+		if obj.Text != "" {
+			terms = text.Extract(obj.Text)
+		}
+		if obj.Image != nil {
+			descs = imaging.Extract(obj.Image, c.pyr)
+		}
+	})
+	return terms, descs
+}
+
+func (c *Client) encryptBlob(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("hommsse: encode blob: %w", err)
+	}
+	return crypto.NewCipher(c.keys.RK1).Encrypt(buf.Bytes())
+}
+
+func (c *Client) decryptBlob(ct []byte, v interface{}) error {
+	if len(ct) == 0 {
+		return nil
+	}
+	pt, err := crypto.NewCipher(c.keys.RK1).Decrypt(ct)
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(pt)).Decode(v)
+}
+
+// termID is the deterministic per-term id the server keys counters by.
+func (c *Client) termID(term string) string {
+	var t dpe.Token
+	copy(t[:], crypto.PRFString(c.keys.RKID, term+"|id"))
+	return t.String()
+}
+
+// termPosKey derives k1 for index positions.
+func (c *Client) termPosKey(term string) crypto.Key {
+	return crypto.DeriveKey(c.keys.RKID, term+"|pos")
+}
+
+func position(k1 crypto.Key, ctr uint64) string {
+	var t dpe.Token
+	copy(t[:], crypto.PRFUint64(k1, ctr))
+	return t.String()
+}
+
+func (c *Client) histograms(terms []text.Term, descs [][]float64) map[string]map[string]uint64 {
+	out := make(map[string]map[string]uint64, 2)
+	if len(terms) > 0 {
+		h := make(map[string]uint64, len(terms))
+		for _, t := range terms {
+			h[t.Word] = t.Freq
+		}
+		out[ModText] = h
+	}
+	cb := c.Codebook()
+	if len(descs) > 0 && cb != nil {
+		h := make(map[string]uint64)
+		for _, d := range descs {
+			h["vw:"+strconv.Itoa(cb.Quantize(d))]++
+		}
+		out[ModImage] = h
+	}
+	return out
+}
+
+// Update adds or replaces an object. After training: build encrypted
+// increments (1 per real term plus encrypted-zero padding), let the server
+// get-and-increment the counters, then compute positions from the decrypted
+// previous counter values and upload Paillier-encrypted frequencies.
+func (c *Client) Update(s *Server, repoID string, doc *Doc, dataKey crypto.Key) error {
+	terms, descs := c.extract(doc)
+	var ciphertext, encFvs []byte
+	var encErr error
+	c.timeCPU(device.Encrypt, func() {
+		plain, err := doc.marshal()
+		if err != nil {
+			encErr = err
+			return
+		}
+		if ciphertext, encErr = crypto.NewCipher(dataKey).Encrypt(plain); encErr != nil {
+			return
+		}
+		encFvs, encErr = c.encryptBlob(featureBlob{Terms: terms, Descs: descs})
+	})
+	if encErr != nil {
+		return encErr
+	}
+	if !c.IsTrained() {
+		c.addTransfer(device.Network, int64(len(ciphertext)+len(encFvs)), 0)
+		return s.UntrainedUpdate(repoID, doc.ID, doc.Owner, ciphertext, encFvs)
+	}
+
+	var hists map[string]map[string]uint64
+	c.timeCPU(device.Index, func() { hists = c.histograms(terms, descs) })
+
+	pub := &c.keys.Hom.PublicKey
+	incs := make(map[string][]CtrIncrement, len(hists))
+	var buildErr error
+	c.timeCPU(device.Encrypt, func() {
+		for m, hist := range hists {
+			var list []CtrIncrement
+			for term := range hist {
+				encOne, err := pub.EncryptUint64(nil, 1)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				list = append(list, CtrIncrement{TermID: c.termID(term), EncInc: encOne.Bytes()})
+			}
+			// Padding: encrypted zeros on dummy term ids so the server
+			// cannot tell which counters really advanced.
+			pad := int(math.Ceil(c.padding * float64(len(hist))))
+			for i := 0; i < pad; i++ {
+				encZero, err := pub.EncryptUint64(nil, 0)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				list = append(list, CtrIncrement{
+					TermID: c.termID(fmt.Sprintf("pad|%s|%s|%d", doc.ID, m, i)),
+					EncInc: encZero.Bytes(),
+				})
+			}
+			incs[m] = list
+		}
+	})
+	if buildErr != nil {
+		return buildErr
+	}
+	var upB int64
+	for _, list := range incs {
+		for _, inc := range list {
+			upB += int64(len(inc.TermID) + len(inc.EncInc))
+		}
+	}
+	ectrs, err := s.GetAndIncCtrs(repoID, incs)
+	if err != nil {
+		return err
+	}
+	var downB int64
+	for _, om := range ectrs {
+		for _, ct := range om {
+			downB += int64(len(ct))
+		}
+	}
+	c.addTransfer(device.Network, upB, downB)
+
+	var updates []ModalityUpdate
+	c.timeCPU(device.Encrypt, func() {
+		for m, hist := range hists {
+			var postings []Posting
+			for term, freq := range hist {
+				id := c.termID(term)
+				ctBytes, ok := ectrs[m][id]
+				if !ok {
+					buildErr = fmt.Errorf("hommsse: server did not return counter for %s", id)
+					return
+				}
+				ctr, err := c.keys.Hom.DecryptUint64(new(big.Int).SetBytes(ctBytes))
+				if err != nil {
+					buildErr = fmt.Errorf("hommsse: decrypt counter: %w", err)
+					return
+				}
+				encFreq, err := pub.EncryptUint64(nil, freq)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				postings = append(postings, Posting{
+					L:       position(c.termPosKey(term), ctr),
+					Doc:     doc.ID,
+					EncFreq: encFreq.Bytes(),
+				})
+			}
+			updates = append(updates, ModalityUpdate{Modality: m, Postings: postings})
+		}
+	})
+	if buildErr != nil {
+		return buildErr
+	}
+	var up2 int64 = int64(len(ciphertext) + len(encFvs))
+	for _, mu := range updates {
+		for _, p := range mu.Postings {
+			up2 += int64(len(p.L) + len(p.Doc) + len(p.EncFreq))
+		}
+	}
+	c.addTransfer(device.Network, up2, 0)
+	return s.Update(repoID, doc.ID, doc.Owner, ciphertext, encFvs, updates)
+}
+
+// Train mirrors MSSE: download features, decrypt, Euclidean k-means on the
+// client, then index everything with Paillier-encrypted frequencies and
+// counters advanced through the server.
+func (c *Client) Train(s *Server, repoID string) error {
+	encFvs, err := s.GetFeatures(repoID)
+	if err != nil {
+		return err
+	}
+	var down int64
+	for _, b := range encFvs {
+		down += int64(len(b))
+	}
+	c.addTransfer(device.Network, 0, down)
+
+	blobs := make(map[string]featureBlob, len(encFvs))
+	var decErr error
+	c.timeCPU(device.Encrypt, func() {
+		for id, ct := range encFvs {
+			var fb featureBlob
+			if err := c.decryptBlob(ct, &fb); err != nil {
+				decErr = fmt.Errorf("hommsse: decrypt features of %s: %w", id, err)
+				return
+			}
+			blobs[id] = fb
+		}
+	})
+	if decErr != nil {
+		return decErr
+	}
+
+	var trainErr error
+	c.timeCPU(device.Train, func() {
+		// Sorted ids keep the trained codebook deterministic across runs.
+		ids := make([]string, 0, len(blobs))
+		for id := range blobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var sample [][]float64
+		for _, id := range ids {
+			sample = append(sample, blobs[id].Descs...)
+		}
+		if len(sample) == 0 {
+			return
+		}
+		euclid := func(ps [][]float64, k int, seed int64) ([][]float64, []int, error) {
+			res, err := cluster.KMeans(ps, k, cluster.Options{Seed: seed, MaxIter: c.vocab.MaxIter})
+			if err != nil {
+				return nil, nil, err
+			}
+			return res.Centroids, res.Assignments, nil
+		}
+		vocab, err := cluster.TrainVocabulary(sample, c.vocab, euclid, func(a, b []float64) float64 {
+			var sum float64
+			for i := range a {
+				d := a[i] - b[i]
+				sum += d * d
+			}
+			return math.Sqrt(sum)
+		})
+		if err != nil {
+			trainErr = fmt.Errorf("hommsse: train codebook: %w", err)
+			return
+		}
+		c.SetCodebook(vocab)
+	})
+	if trainErr != nil {
+		return trainErr
+	}
+
+	// Index every stored object through the normal update path (their
+	// ciphertexts and features are already server-side; only postings and
+	// counters are new). We re-upload postings per object.
+	for id, fb := range blobs {
+		if err := c.indexExisting(s, repoID, id, fb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexExisting uploads postings for an object whose ciphertext is already
+// stored (used by Train).
+func (c *Client) indexExisting(s *Server, repoID, docID string, fb featureBlob) error {
+	var hists map[string]map[string]uint64
+	c.timeCPU(device.Index, func() { hists = c.histograms(fb.Terms, fb.Descs) })
+	pub := &c.keys.Hom.PublicKey
+	incs := make(map[string][]CtrIncrement, len(hists))
+	var buildErr error
+	c.timeCPU(device.Encrypt, func() {
+		for m, hist := range hists {
+			var list []CtrIncrement
+			for term := range hist {
+				encOne, err := pub.EncryptUint64(nil, 1)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				list = append(list, CtrIncrement{TermID: c.termID(term), EncInc: encOne.Bytes()})
+			}
+			incs[m] = list
+		}
+	})
+	if buildErr != nil {
+		return buildErr
+	}
+	ectrs, err := s.GetAndIncCtrs(repoID, incs)
+	if err != nil {
+		return err
+	}
+	var updates []ModalityUpdate
+	c.timeCPU(device.Encrypt, func() {
+		for m, hist := range hists {
+			var postings []Posting
+			for term, freq := range hist {
+				ctBytes := ectrs[m][c.termID(term)]
+				ctr, err := c.keys.Hom.DecryptUint64(new(big.Int).SetBytes(ctBytes))
+				if err != nil {
+					buildErr = err
+					return
+				}
+				encFreq, err := pub.EncryptUint64(nil, freq)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				postings = append(postings, Posting{L: position(c.termPosKey(term), ctr), Doc: docID, EncFreq: encFreq.Bytes()})
+			}
+			updates = append(updates, ModalityUpdate{Modality: m, Postings: postings})
+		}
+	})
+	if buildErr != nil {
+		return buildErr
+	}
+	r, err := s.repo(repoID)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, mu := range updates {
+		im := r.idx[mu.Modality]
+		if im == nil {
+			im = make(map[string]entry)
+			r.idx[mu.Modality] = im
+		}
+		for _, p := range mu.Postings {
+			im[p.L] = entry{doc: p.Doc, encFreq: p.EncFreq}
+		}
+	}
+	return nil
+}
+
+// Search implements Figure 8's query flow: fetch counters, enumerate
+// positions, let the server score homomorphically, then decrypt, sort and
+// fuse locally.
+func (c *Client) Search(s *Server, repoID string, query *Doc, k int) ([]Hit, error) {
+	if k <= 0 {
+		return nil, errors.New("hommsse: k must be positive")
+	}
+	terms, descs := c.extract(query)
+	if !c.IsTrained() {
+		return c.linearSearch(s, repoID, terms, descs, k)
+	}
+	var hists map[string]map[string]uint64
+	c.timeCPU(device.Index, func() { hists = c.histograms(terms, descs) })
+
+	want := make(map[string][]string, len(hists))
+	termOf := make(map[string]string)
+	for m, hist := range hists {
+		for term := range hist {
+			id := c.termID(term)
+			want[m] = append(want[m], id)
+			termOf[id] = term
+		}
+	}
+	ectrs, err := s.GetCtrs(repoID, want)
+	if err != nil {
+		return nil, err
+	}
+	var down int64
+	for _, om := range ectrs {
+		for _, ct := range om {
+			down += int64(len(ct))
+		}
+	}
+	c.addTransfer(device.Network, 0, down)
+
+	var queries []ModalityQuery
+	var buildErr error
+	c.timeCPU(device.Encrypt, func() {
+		for m, hist := range hists {
+			mq := ModalityQuery{Modality: m}
+			for id, ctBytes := range ectrs[m] {
+				term := termOf[id]
+				cnt, err := c.keys.Hom.DecryptUint64(new(big.Int).SetBytes(ctBytes))
+				if err != nil {
+					buildErr = err
+					return
+				}
+				if cnt == 0 {
+					continue
+				}
+				st := SearchTerm{QueryFreq: hist[term]}
+				k1 := c.termPosKey(term)
+				for ctr := uint64(0); ctr < cnt; ctr++ {
+					st.Positions = append(st.Positions, position(k1, ctr))
+				}
+				mq.Terms = append(mq.Terms, st)
+			}
+			queries = append(queries, mq)
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+
+	start := time.Now()
+	scored, err := s.Search(repoID, queries)
+	if err != nil {
+		return nil, err
+	}
+	if c.meter != nil {
+		// The homomorphic scoring happens server-side but inside the
+		// synchronous query; Figure 5 charges it to Network.
+		c.meter.AddServerTime(device.Network, time.Since(start))
+	}
+	var dn int64
+	for _, list := range scored {
+		for _, ds := range list {
+			dn += int64(len(ds.EncScore) + len(ds.Cipher))
+		}
+	}
+	c.addTransfer(device.Network, 0, dn)
+
+	// Client-side decrypt + per-modality sort + fusion (the extra client
+	// work Figure 5 charges to Hom-MSSE).
+	var lists [][]index.Result
+	meta := make(map[string]Hit)
+	var decErr error
+	c.timeCPU(device.Encrypt, func() {
+		for _, list := range scored {
+			var rs []index.Result
+			for _, ds := range list {
+				raw, err := c.keys.Hom.Decrypt(new(big.Int).SetBytes(ds.EncScore))
+				if err != nil {
+					decErr = err
+					return
+				}
+				score := float64(raw.Int64()) / scoreScale
+				if score <= 0 {
+					continue
+				}
+				rs = append(rs, index.Result{Doc: index.DocID(ds.Doc), Score: score})
+				meta[ds.Doc] = Hit{Doc: ds.Doc, Owner: ds.Owner, Ciphertext: ds.Cipher}
+			}
+			index.SortResults(rs)
+			lists = append(lists, rs)
+		}
+	})
+	if decErr != nil {
+		return nil, decErr
+	}
+	fused := fusion.Fuse(fusion.LogISR, lists, k)
+	hits := make([]Hit, 0, len(fused))
+	for _, r := range fused {
+		h := meta[string(r.Doc)]
+		h.Score = r.Score
+		hits = append(hits, h)
+	}
+	return hits, nil
+}
+
+// linearSearch mirrors msse's untrained path.
+func (c *Client) linearSearch(s *Server, repoID string, qTerms []text.Term, qDescs [][]float64, k int) ([]Hit, error) {
+	encFvs, err := s.GetFeatures(repoID)
+	if err != nil {
+		return nil, err
+	}
+	objs, err := s.GetObjects(repoID)
+	if err != nil {
+		return nil, err
+	}
+	qtf := make(map[string]uint64, len(qTerms))
+	for _, t := range qTerms {
+		qtf[t.Word] = t.Freq
+	}
+	var scored []index.Result
+	var scanErr error
+	c.timeCPU(device.Index, func() {
+		scores := make(map[index.DocID]float64)
+		for id, ct := range encFvs {
+			var fb featureBlob
+			if err := c.decryptBlob(ct, &fb); err != nil {
+				scanErr = err
+				return
+			}
+			var sc float64
+			for _, t := range fb.Terms {
+				if qf, ok := qtf[t.Word]; ok {
+					sc += float64(qf) * float64(t.Freq)
+				}
+			}
+			if len(qDescs) > 0 && len(fb.Descs) > 0 {
+				for _, qd := range qDescs {
+					best := 1.0
+					for _, od := range fb.Descs {
+						var sum float64
+						for i := range qd {
+							d := qd[i] - od[i]
+							sum += d * d
+						}
+						if d := math.Sqrt(sum); d < best {
+							best = d
+						}
+					}
+					sc += 1 - best
+				}
+			}
+			if sc > 0 {
+				scores[index.DocID(id)] = sc
+			}
+		}
+		for d, s := range scores {
+			scored = append(scored, index.Result{Doc: d, Score: s})
+		}
+		index.SortResults(scored)
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	hits := make([]Hit, 0, len(scored))
+	for _, r := range scored {
+		o := objs[string(r.Doc)]
+		hits = append(hits, Hit{Doc: string(r.Doc), Owner: o.Owner, Score: r.Score, Ciphertext: o.Ciphertext})
+	}
+	return hits, nil
+}

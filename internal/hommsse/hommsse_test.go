@@ -1,0 +1,291 @@
+package hommsse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mie/internal/cluster"
+	"mie/internal/crypto"
+	"mie/internal/device"
+	"mie/internal/imaging"
+)
+
+var (
+	keysOnce sync.Once
+	keysVal  Keys
+	keysErr  error
+)
+
+// sharedKeys generates one (slow) Paillier pair for the whole test package.
+func sharedKeys(t *testing.T) Keys {
+	t.Helper()
+	keysOnce.Do(func() {
+		var master crypto.Key
+		master[0] = 9
+		keysVal, keysErr = NewKeys(master, 512)
+	})
+	if keysErr != nil {
+		t.Fatal(keysErr)
+	}
+	return keysVal
+}
+
+func testConfig(t *testing.T) ClientConfig {
+	return ClientConfig{
+		Keys:    sharedKeys(t),
+		Pyramid: imaging.PyramidParams{Scales: []int{16}},
+		Vocab:   cluster.VocabParams{Words: 20, Tree: cluster.TreeParams{Branch: 3, Height: 2, Seed: 1}, Seed: 1, MaxIter: 10},
+		Padding: 0.6,
+	}
+}
+
+func classImage(class int, instance int64) *imaging.Image {
+	base := rand.New(rand.NewSource(int64(class) * 1000))
+	noise := rand.New(rand.NewSource(instance + int64(class)*7919 + 1))
+	im, err := imaging.NewImage(32, 32)
+	if err != nil {
+		panic(err) // impossible: fixed valid dimensions
+	}
+	for i := range im.Pix {
+		im.Pix[i] = base.Float64()*0.9 + noise.Float64()*0.1
+	}
+	return im
+}
+
+func testDoc(class, n int) *Doc {
+	topics := []string{
+		"beach sand ocean waves sunny holiday",
+		"mountain snow hiking trail peaks climbing",
+		"city skyline buildings night lights urban",
+	}
+	return &Doc{
+		ID:    fmt.Sprintf("doc-c%d-%d", class, n),
+		Owner: "owner1",
+		Text:  topics[class%len(topics)],
+		Image: classImage(class, int64(n)),
+	}
+}
+
+func dataKey() crypto.Key {
+	var k crypto.Key
+	k[0] = 0x42
+	return k
+}
+
+func setupTrained(t *testing.T, perClass int) (*Client, *Server, string) {
+	t.Helper()
+	keys := sharedKeys(t)
+	s := NewServer()
+	const repoID = "r1"
+	if err := s.CreateRepository(repoID, &keys.Hom.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(testConfig(t))
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < perClass; i++ {
+			if err := c.Update(s, repoID, testDoc(cls, i), dataKey()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Train(s, repoID); err != nil {
+		t.Fatal(err)
+	}
+	return c, s, repoID
+}
+
+func TestCreateRepositoryValidation(t *testing.T) {
+	keys := sharedKeys(t)
+	s := NewServer()
+	if err := s.CreateRepository("a", nil); err == nil {
+		t.Error("expected error for nil public key")
+	}
+	if err := s.CreateRepository("a", &keys.Hom.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateRepository("a", &keys.Hom.PublicKey); !errors.Is(err, ErrRepoExists) {
+		t.Errorf("err = %v, want ErrRepoExists", err)
+	}
+	if _, err := s.GetFeatures("missing"); !errors.Is(err, ErrRepoNotFound) {
+		t.Errorf("err = %v, want ErrRepoNotFound", err)
+	}
+}
+
+func TestUntrainedLinearSearch(t *testing.T) {
+	keys := sharedKeys(t)
+	s := NewServer()
+	if err := s.CreateRepository("r", &keys.Hom.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(testConfig(t))
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 3; i++ {
+			if err := c.Update(s, "r", testDoc(cls, i), dataKey()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hits, err := c.Search(s, "r", testDoc(1, 50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("untrained search found nothing")
+	}
+}
+
+func TestTrainedSearchRanksQueryClassFirst(t *testing.T) {
+	c, s, repoID := setupTrained(t, 4)
+	hits, err := c.Search(s, repoID, testDoc(0, 77), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	same := 0
+	for _, h := range hits {
+		var cls, n int
+		if _, err := fmt.Sscanf(h.Doc, "doc-c%d-%d", &cls, &n); err == nil && cls == 0 {
+			same++
+		}
+	}
+	if same < 2 {
+		t.Errorf("only %d/%d hits from query class: %+v", same, len(hits), hits)
+	}
+}
+
+func TestServerNeverSeesPlaintextFrequencies(t *testing.T) {
+	// Structural check of the Table I claim: every stored frequency and
+	// counter must be a Paillier ciphertext (indistinguishable across equal
+	// plaintexts), not a deterministic value.
+	c, s, repoID := setupTrained(t, 2)
+	d1 := &Doc{ID: "fa", Owner: "o", Text: "zebra zebra zebra"}
+	d2 := &Doc{ID: "fb", Owner: "o", Text: "zebra zebra zebra"}
+	if err := c.Update(s, repoID, d1, dataKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(s, repoID, d2, dataKey()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.repo(repoID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var freqs [][]byte
+	for _, e := range r.idx[ModText] {
+		if e.doc == "fa" || e.doc == "fb" {
+			freqs = append(freqs, e.encFreq)
+		}
+	}
+	if len(freqs) != 2 {
+		t.Fatalf("expected 2 postings for fa/fb, got %d", len(freqs))
+	}
+	if string(freqs[0]) == string(freqs[1]) {
+		t.Error("equal frequencies encrypted to identical ciphertexts (frequency pattern leaked)")
+	}
+}
+
+func TestRepeatedSharedKeywordRetrievable(t *testing.T) {
+	c, s, repoID := setupTrained(t, 2)
+	for i := 0; i < 3; i++ {
+		d := &Doc{ID: fmt.Sprintf("shared-%d", i), Owner: "o", Text: "nebula galaxy astrophotography"}
+		if err := c.Update(s, repoID, d, dataKey()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := c.Search(s, repoID, &Doc{ID: "q", Text: "nebula galaxy"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 {
+		t.Errorf("got %d hits, want 3 (homomorphic counters must advance): %+v", len(hits), hits)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, s, repoID := setupTrained(t, 2)
+	if err := s.Remove(repoID, "doc-c1-0"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.Search(s, repoID, testDoc(1, 9), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Doc == "doc-c1-0" {
+			t.Error("removed doc surfaced")
+		}
+	}
+}
+
+func TestConcurrentUpdatesNoLockNeeded(t *testing.T) {
+	// The Hom-MSSE improvement over MSSE: writers proceed without a
+	// client-visible lock because the server increments counters itself.
+	c, s, repoID := setupTrained(t, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := &Doc{ID: fmt.Sprintf("conc-%d", w), Owner: "o", Text: "concurrent homomorphic writer"}
+			if err := c.Update(s, repoID, d, dataKey()); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, err := c.Search(s, repoID, &Doc{ID: "q", Text: "concurrent homomorphic writer"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 6 {
+		t.Errorf("got %d concurrent docs, want 6", len(hits))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	c, s, repoID := setupTrained(t, 2)
+	if _, err := c.Search(s, repoID, testDoc(0, 0), 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+func TestMeterShowsHomomorphicOverhead(t *testing.T) {
+	keys := sharedKeys(t)
+	s := NewServer()
+	if err := s.CreateRepository("r", &keys.Hom.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t)
+	meter := device.NewMeter(device.Desktop)
+	cfg.Meter = meter
+	c := NewClient(cfg)
+	for i := 0; i < 3; i++ {
+		if err := c.Update(s, "r", testDoc(0, i), dataKey()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Train(s, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(s, "r", testDoc(1, 9), dataKey()); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Time(device.Encrypt) == 0 {
+		t.Error("no Encrypt cost recorded")
+	}
+	if meter.Time(device.Train) == 0 {
+		t.Error("no Train cost recorded")
+	}
+}

@@ -1,0 +1,266 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mie/internal/vec"
+)
+
+func mustImage(t *testing.T, w, h int) *Image {
+	t.Helper()
+	im, err := NewImage(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func noiseImage(t *testing.T, w, h int, seed int64) *Image {
+	t.Helper()
+	im := mustImage(t, w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float64()
+	}
+	return im
+}
+
+func TestNewImageValidation(t *testing.T) {
+	if _, err := NewImage(0, 10); err == nil {
+		t.Error("expected error for zero width")
+	}
+	if _, err := NewImage(10, -1); err == nil {
+		t.Error("expected error for negative height")
+	}
+}
+
+func TestImageAtClamping(t *testing.T) {
+	im := mustImage(t, 4, 4)
+	im.Set(0, 0, 1)
+	im.Set(3, 3, 2)
+	if im.At(-5, -5) != 1 {
+		t.Errorf("At(-5,-5) = %v, want clamped to (0,0)=1", im.At(-5, -5))
+	}
+	if im.At(10, 10) != 2 {
+		t.Errorf("At(10,10) = %v, want clamped to (3,3)=2", im.At(10, 10))
+	}
+	im.Set(-1, 0, 99) // must be ignored, not panic
+	im.Set(4, 0, 99)
+	if im.At(0, 0) != 1 {
+		t.Error("out-of-bounds Set corrupted the image")
+	}
+}
+
+func TestIntegralAgainstBruteForce(t *testing.T) {
+	im := noiseImage(t, 17, 13, 1)
+	ii := NewIntegral(im)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		x0, x1 := rng.Intn(18), rng.Intn(18)
+		y0, y1 := rng.Intn(14), rng.Intn(14)
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		var want float64
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				want += im.Pix[y*im.W+x]
+			}
+		}
+		got := ii.Sum(x0, y0, x1, y1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Sum(%d,%d,%d,%d) = %v, want %v", x0, y0, x1, y1, got, want)
+		}
+	}
+}
+
+func TestIntegralClampsAndEmpty(t *testing.T) {
+	im := noiseImage(t, 8, 8, 3)
+	ii := NewIntegral(im)
+	if got := ii.Sum(5, 5, 5, 7); got != 0 {
+		t.Errorf("empty rect sum = %v, want 0", got)
+	}
+	if got := ii.Sum(3, 3, 1, 7); got != 0 {
+		t.Errorf("inverted rect sum = %v, want 0", got)
+	}
+	full := ii.Sum(0, 0, 8, 8)
+	clamped := ii.Sum(-10, -10, 100, 100)
+	if math.Abs(full-clamped) > 1e-12 {
+		t.Errorf("clamped sum %v != full sum %v", clamped, full)
+	}
+}
+
+func TestDensePyramidCoverage(t *testing.T) {
+	kps := DensePyramid(128, 128, PyramidParams{})
+	if len(kps) == 0 {
+		t.Fatal("no keypoints on a 128x128 image")
+	}
+	sizes := make(map[int]int)
+	for _, kp := range kps {
+		sizes[kp.Size]++
+		if kp.X-kp.Size/2 < 0 || kp.X+kp.Size/2 > 128 || kp.Y-kp.Size/2 < 0 || kp.Y+kp.Size/2 > 128 {
+			t.Errorf("keypoint %+v patch exceeds image", kp)
+		}
+	}
+	for _, s := range []int{16, 32, 64} {
+		if sizes[s] == 0 {
+			t.Errorf("no keypoints at default scale %d (got %v)", s, sizes)
+		}
+	}
+}
+
+func TestDensePyramidSmallImage(t *testing.T) {
+	// Scales larger than the image must be skipped, not panic.
+	kps := DensePyramid(20, 20, PyramidParams{})
+	for _, kp := range kps {
+		if kp.Size > 20 {
+			t.Errorf("keypoint with size %d on a 20x20 image", kp.Size)
+		}
+	}
+}
+
+func TestDescriptorShapeAndScale(t *testing.T) {
+	im := noiseImage(t, 64, 64, 4)
+	ii := NewIntegral(im)
+	d := Descriptor(ii, Keypoint{X: 32, Y: 32, Size: 32})
+	if len(d) != DescriptorDim {
+		t.Fatalf("descriptor has %d dims, want %d", len(d), DescriptorDim)
+	}
+	if n := vec.Norm(d); math.Abs(n-DescriptorScale) > 1e-9 {
+		t.Errorf("descriptor norm = %v, want %v", n, DescriptorScale)
+	}
+}
+
+func TestDescriptorFlatPatchIsZero(t *testing.T) {
+	im := mustImage(t, 64, 64)
+	for i := range im.Pix {
+		im.Pix[i] = 0.7
+	}
+	ii := NewIntegral(im)
+	d := Descriptor(ii, Keypoint{X: 32, Y: 32, Size: 32})
+	if vec.Norm(d) != 0 {
+		t.Errorf("flat patch descriptor norm = %v, want 0", vec.Norm(d))
+	}
+}
+
+func TestDescriptorDistinguishesOrientation(t *testing.T) {
+	// A vertical edge should produce strong |dx| relative to |dy|, and a
+	// horizontal edge the opposite.
+	vertical := mustImage(t, 64, 64)
+	horizontal := mustImage(t, 64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if x >= 32 {
+				vertical.Set(x, y, 1)
+			}
+			if y >= 32 {
+				horizontal.Set(x, y, 1)
+			}
+		}
+	}
+	kp := Keypoint{X: 32, Y: 32, Size: 32}
+	dv := Descriptor(NewIntegral(vertical), kp)
+	dh := Descriptor(NewIntegral(horizontal), kp)
+	sumAbs := func(d []float64, offset int) float64 {
+		var s float64
+		for i := offset; i < len(d); i += 4 {
+			s += d[i]
+		}
+		return s
+	}
+	if sumAbs(dv, 1) <= sumAbs(dv, 3) {
+		t.Errorf("vertical edge: |dx|=%v should exceed |dy|=%v", sumAbs(dv, 1), sumAbs(dv, 3))
+	}
+	if sumAbs(dh, 3) <= sumAbs(dh, 1) {
+		t.Errorf("horizontal edge: |dy|=%v should exceed |dx|=%v", sumAbs(dh, 3), sumAbs(dh, 1))
+	}
+	if vec.Euclidean(dv, dh) < 0.1 {
+		t.Error("orthogonal edges produced nearly identical descriptors")
+	}
+}
+
+func TestDescriptorDistancesBounded(t *testing.T) {
+	im1 := noiseImage(t, 64, 64, 5)
+	im2 := noiseImage(t, 64, 64, 6)
+	d1 := Extract(im1, PyramidParams{})
+	d2 := Extract(im2, PyramidParams{})
+	for i := range d1 {
+		if d := vec.Euclidean(d1[i], d2[i]); d > 1+1e-9 {
+			t.Fatalf("descriptor distance %v exceeds 1", d)
+		}
+	}
+}
+
+func TestExtractSimilarImagesCloserThanDissimilar(t *testing.T) {
+	base := noiseImage(t, 64, 64, 7)
+	// Slightly perturbed copy.
+	near := mustImage(t, 64, 64)
+	copy(near.Pix, base.Pix)
+	rng := rand.New(rand.NewSource(8))
+	for i := range near.Pix {
+		near.Pix[i] += rng.NormFloat64() * 0.02
+	}
+	far := noiseImage(t, 64, 64, 9)
+
+	db := Extract(base, PyramidParams{})
+	dn := Extract(near, PyramidParams{})
+	df := Extract(far, PyramidParams{})
+	var sumNear, sumFar float64
+	for i := range db {
+		sumNear += vec.Euclidean(db[i], dn[i])
+		sumFar += vec.Euclidean(db[i], df[i])
+	}
+	if sumNear >= sumFar {
+		t.Errorf("perturbed image (%v) should be closer than unrelated image (%v)", sumNear, sumFar)
+	}
+}
+
+func TestExtractCount(t *testing.T) {
+	im := noiseImage(t, 64, 64, 10)
+	kps := DensePyramid(64, 64, PyramidParams{})
+	feats := Extract(im, PyramidParams{})
+	if len(feats) != len(kps) {
+		t.Errorf("Extract returned %d descriptors for %d keypoints", len(feats), len(kps))
+	}
+}
+
+func TestImageGobRoundTrip(t *testing.T) {
+	src := noiseImage(t, 9, 7, 11)
+	data, err := src.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst Image
+	if err := dst.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if dst.W != 9 || dst.H != 7 {
+		t.Fatalf("dims %dx%d", dst.W, dst.H)
+	}
+	for i := range src.Pix {
+		if math.Abs(dst.Pix[i]-src.Pix[i]) > 1.0/255+1e-9 {
+			t.Fatalf("pixel %d: %v vs %v (8-bit quantization bound exceeded)", i, dst.Pix[i], src.Pix[i])
+		}
+	}
+}
+
+func TestImageGobDecodeValidation(t *testing.T) {
+	var im Image
+	if err := im.GobDecode([]byte{1, 2}); err == nil {
+		t.Error("expected error for short data")
+	}
+	if err := im.GobDecode(make([]byte, 8)); err == nil {
+		t.Error("expected error for zero dimensions")
+	}
+	bad := make([]byte, 8+3)
+	bad[3] = 2 // W=2
+	bad[7] = 2 // H=2 -> needs 4 pixels, only 3 present
+	if err := im.GobDecode(bad); err == nil {
+		t.Error("expected error for inconsistent pixel count")
+	}
+}

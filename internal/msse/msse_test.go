@@ -1,0 +1,425 @@
+package msse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mie/internal/cluster"
+	"mie/internal/crypto"
+	"mie/internal/device"
+	"mie/internal/imaging"
+)
+
+func testMaster(b byte) crypto.Key {
+	var k crypto.Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func testClientConfig() ClientConfig {
+	return ClientConfig{
+		Keys:    NewKeys(testMaster(1)),
+		Pyramid: imaging.PyramidParams{Scales: []int{16}},
+		Vocab:   cluster.VocabParams{Words: 20, Tree: cluster.TreeParams{Branch: 3, Height: 2, Seed: 1}, Seed: 1, MaxIter: 10},
+	}
+}
+
+func classImage(class int, instance int64) *imaging.Image {
+	base := rand.New(rand.NewSource(int64(class) * 1000))
+	noise := rand.New(rand.NewSource(instance + int64(class)*7919 + 1))
+	im, err := imaging.NewImage(32, 32)
+	if err != nil {
+		panic(err) // impossible: fixed valid dimensions
+	}
+	for i := range im.Pix {
+		im.Pix[i] = base.Float64()*0.9 + noise.Float64()*0.1
+	}
+	return im
+}
+
+func testDoc(class, n int) *Doc {
+	topics := []string{
+		"beach sand ocean waves sunny holiday",
+		"mountain snow hiking trail peaks climbing",
+		"city skyline buildings night lights urban",
+	}
+	return &Doc{
+		ID:    fmt.Sprintf("doc-c%d-%d", class, n),
+		Owner: "owner1",
+		Text:  topics[class%len(topics)],
+		Image: classImage(class, int64(n)),
+	}
+}
+
+func dataKey() crypto.Key { return testMaster(77) }
+
+func setupTrained(t *testing.T, perClass int) (*Client, *Server, string) {
+	t.Helper()
+	s := NewServer()
+	const repoID = "r1"
+	if err := s.CreateRepository(repoID); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(testClientConfig())
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < perClass; i++ {
+			if err := c.Update(s, repoID, testDoc(cls, i), dataKey()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Train(s, repoID); err != nil {
+		t.Fatal(err)
+	}
+	return c, s, repoID
+}
+
+func TestCreateRepositoryDuplicate(t *testing.T) {
+	s := NewServer()
+	if err := s.CreateRepository("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateRepository("a"); !errors.Is(err, ErrRepoExists) {
+		t.Errorf("err = %v, want ErrRepoExists", err)
+	}
+	if _, err := s.GetFeatures("missing"); !errors.Is(err, ErrRepoNotFound) {
+		t.Errorf("err = %v, want ErrRepoNotFound", err)
+	}
+}
+
+func TestUntrainedLinearSearch(t *testing.T) {
+	s := NewServer()
+	if err := s.CreateRepository("r"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(testClientConfig())
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < 4; i++ {
+			if err := c.Update(s, "r", testDoc(cls, i), dataKey()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hits, err := c.Search(s, "r", testDoc(1, 99), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("untrained search found nothing")
+	}
+	same := 0
+	for _, h := range hits {
+		var cls, n int
+		if _, err := fmt.Sscanf(h.Doc, "doc-c%d-%d", &cls, &n); err == nil && cls == 1 {
+			same++
+		}
+	}
+	if same < 3 {
+		t.Errorf("only %d/%d hits from query class: %+v", same, len(hits), hits)
+	}
+}
+
+func TestTrainedSearch(t *testing.T) {
+	c, s, repoID := setupTrained(t, 5)
+	if !c.IsTrained() {
+		t.Fatal("client not trained")
+	}
+	hits, err := c.Search(s, repoID, testDoc(2, 50), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("trained search found nothing")
+	}
+	same := 0
+	for _, h := range hits {
+		var cls, n int
+		if _, err := fmt.Sscanf(h.Doc, "doc-c%d-%d", &cls, &n); err == nil && cls == 2 {
+			same++
+		}
+	}
+	if same < 3 {
+		t.Errorf("only %d/%d hits from query class: %+v", same, len(hits), hits)
+	}
+}
+
+func TestTrainedUpdateThenSearch(t *testing.T) {
+	c, s, repoID := setupTrained(t, 3)
+	novel := &Doc{ID: "late", Owner: "owner2", Text: "xylophone orchestra concert rare"}
+	if err := c.Update(s, repoID, novel, dataKey()); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.Search(s, repoID, &Doc{ID: "q", Text: "xylophone concert"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Doc != "late" {
+		t.Errorf("post-training update not searchable: %+v", hits)
+	}
+	if hits[0].Owner != "owner2" {
+		t.Errorf("owner = %q", hits[0].Owner)
+	}
+}
+
+func TestRepeatedUpdatesIncrementCounters(t *testing.T) {
+	c, s, repoID := setupTrained(t, 3)
+	// Add three docs sharing a keyword; all three must be retrievable, which
+	// requires the counters to have advanced per update.
+	for i := 0; i < 3; i++ {
+		d := &Doc{ID: fmt.Sprintf("shared-%d", i), Owner: "o", Text: "quasar astronomy telescope"}
+		if err := c.Update(s, repoID, d, dataKey()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := c.Search(s, repoID, &Doc{ID: "q", Text: "quasar"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 {
+		t.Errorf("got %d hits, want 3 (counter-derived positions must not collide): %+v", len(hits), hits)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, s, repoID := setupTrained(t, 3)
+	victim := "doc-c0-1"
+	if err := s.Remove(repoID, victim); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.Search(s, repoID, testDoc(0, 88), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Doc == victim {
+			t.Error("removed doc surfaced")
+		}
+	}
+	n, err := s.ObjectCount(repoID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("ObjectCount = %d, want 8", n)
+	}
+}
+
+func TestUpdateReplacesDoc(t *testing.T) {
+	c, s, repoID := setupTrained(t, 3)
+	replacement := &Doc{ID: "doc-c0-0", Owner: "owner1", Text: "volcano eruption lava"}
+	if err := c.Update(s, repoID, replacement, dataKey()); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.Search(s, repoID, &Doc{ID: "q", Text: "volcano"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Doc != "doc-c0-0" {
+		t.Errorf("replacement not searchable: %+v", hits)
+	}
+	// Old content must be gone.
+	hits, err = c.Search(s, repoID, &Doc{ID: "q2", Text: "beach ocean waves sunny"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Doc == "doc-c0-0" {
+			t.Error("stale postings for replaced doc")
+		}
+	}
+}
+
+func TestCounterLockSerializesWriters(t *testing.T) {
+	c, s, repoID := setupTrained(t, 2)
+	// Hold the lock manually, then check a concurrent trained update blocks
+	// until release.
+	if _, err := s.GetCtrs(repoID, []string{ModText}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Update(s, repoID, &Doc{ID: "blocked", Owner: "o", Text: "waiting writer"}, dataKey())
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("update completed while counters were locked: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := s.UnlockCtrs(repoID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update never completed after unlock")
+	}
+}
+
+func TestTrainedUpdateWithoutLockFails(t *testing.T) {
+	_, s, repoID := setupTrained(t, 2)
+	err := s.TrainedUpdate(repoID, "x", "o", nil, nil, nil)
+	if !errors.Is(err, ErrNotLocked) {
+		t.Errorf("err = %v, want ErrNotLocked", err)
+	}
+	if err := s.UnlockCtrs(repoID); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("unlock err = %v, want ErrNotLocked", err)
+	}
+}
+
+func TestConcurrentTrainedUpdates(t *testing.T) {
+	c, s, repoID := setupTrained(t, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := &Doc{ID: fmt.Sprintf("conc-%d", w), Owner: "o", Text: fmt.Sprintf("parallel writer %d payload", w)}
+			if err := c.Update(s, repoID, d, dataKey()); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, err := c.Search(s, repoID, &Doc{ID: "q", Text: "parallel writer payload"}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 8 {
+		t.Errorf("got %d concurrent docs back, want 8", len(hits))
+	}
+}
+
+func TestCodebookSharing(t *testing.T) {
+	c1, s, repoID := setupTrained(t, 3)
+	// Second user receives the codebook out of band and can search.
+	c2 := NewClient(testClientConfig())
+	c2.SetCodebook(c1.Codebook())
+	hits, err := c2.Search(s, repoID, testDoc(0, 42), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Error("second user with shared codebook found nothing")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	c, s, repoID := setupTrained(t, 2)
+	if _, err := c.Search(s, repoID, testDoc(0, 1), 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+func TestMeterAttribution(t *testing.T) {
+	s := NewServer()
+	if err := s.CreateRepository("r"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testClientConfig()
+	meter := device.NewMeter(device.Desktop)
+	cfg.Meter = meter
+	c := NewClient(cfg)
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 3; i++ {
+			if err := c.Update(s, "r", testDoc(cls, i), dataKey()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Train(s, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Time(device.Train) == 0 {
+		t.Error("training cost not attributed to Train")
+	}
+	if meter.Time(device.Encrypt) == 0 {
+		t.Error("no Encrypt cost recorded")
+	}
+	if meter.Time(device.Index) == 0 {
+		t.Error("no Index cost recorded")
+	}
+	if meter.RoundTrips(device.Network) == 0 {
+		t.Error("no network transfers recorded")
+	}
+}
+
+func TestIndexPaddingHidesDocLengthsInvisibly(t *testing.T) {
+	// A padded client must produce identical search results to an unpadded
+	// one, while the server-side index carries extra (dummy) postings that
+	// blur per-document lengths.
+	run := func(padding float64, repoID string) (*Client, *Server, int) {
+		s := NewServer()
+		if err := s.CreateRepository(repoID); err != nil {
+			t.Fatal(err)
+		}
+		cfg := testClientConfig()
+		cfg.Padding = padding
+		c := NewClient(cfg)
+		for cls := 0; cls < 2; cls++ {
+			for i := 0; i < 3; i++ {
+				if err := c.Update(s, repoID, testDoc(cls, i), dataKey()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := c.Train(s, repoID); err != nil {
+			t.Fatal(err)
+		}
+		// Post-training update exercises the padded trained path.
+		if err := c.Update(s, repoID, &Doc{ID: "late", Owner: "o", Text: "falcon heavy rocket launch"}, dataKey()); err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.repo(repoID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.mu.Lock()
+		entries := 0
+		for _, im := range r.idx {
+			entries += len(im)
+		}
+		r.mu.Unlock()
+		return c, s, entries
+	}
+	cPlain, sPlain, plainEntries := run(0, "plain")
+	cPad, sPad, padEntries := run(1.6, "padded")
+	if padEntries <= plainEntries {
+		t.Errorf("padding added no index entries: %d vs %d", padEntries, plainEntries)
+	}
+	// Same query, same results.
+	hp, err := cPlain.Search(sPlain, "plain", &Doc{ID: "q", Text: "falcon rocket"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hq, err := cPad.Search(sPad, "padded", &Doc{ID: "q", Text: "falcon rocket"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hp) != len(hq) {
+		t.Fatalf("result counts differ: %d vs %d", len(hp), len(hq))
+	}
+	for i := range hp {
+		if hp[i].Doc != hq[i].Doc {
+			t.Errorf("rank %d differs: %s vs %s", i, hp[i].Doc, hq[i].Doc)
+		}
+	}
+	for _, h := range hq {
+		if len(h.Doc) > 0 && h.Doc[0] == 0 {
+			t.Error("dummy doc surfaced in results")
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package server exposes the MIE cloud component (core.Service) over TCP
+// using the wire protocol: the "MIE Server Component (as a Service)" box of
+// Figure 1. Each accepted connection is served by its own goroutine; the
+// underlying engine is already safe for the concurrent multi-user access
+// the system model requires.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"mie/internal/core"
+	"mie/internal/wire"
+)
+
+// Authorizer decides whether a request carrying the given bearer token may
+// act on a repository (see internal/auth for the token scheme). A nil
+// authorizer admits everything (the single-trust-domain deployments of the
+// examples).
+type Authorizer func(repoID, token string) error
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithAuthorizer installs request authorization.
+func WithAuthorizer(a Authorizer) Option {
+	return func(s *Server) { s.authorize = a }
+}
+
+// Server hosts a core.Service on a TCP listener.
+type Server struct {
+	svc       *core.Service
+	listener  net.Listener
+	logger    *log.Logger
+	authorize Authorizer
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a server listening on addr (e.g. "127.0.0.1:0").
+func New(addr string, svc *core.Service, logger *log.Logger, opts ...Option) (*Server, error) {
+	if svc == nil {
+		return nil, errors.New("server: nil service")
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		svc:    svc,
+		logger: logger,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting, closes open connections and waits for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		_ = c.Close() // best-effort shutdown; handler goroutines report their own errors
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close() // racing shutdown: drop the connection
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close() // double-close on shutdown path is harmless
+	}()
+	for {
+		env, _, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logger.Printf("server: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, env); err != nil {
+			s.logger.Printf("server: reply to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch handles one request and writes exactly one response frame.
+func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
+	switch env.Kind {
+	case wire.KindCreateRepo:
+		var req wire.CreateRepoReq
+		if err := env.Decode(&req); err != nil {
+			return s.writeAck(conn, err)
+		}
+		if err := s.allowed(req.RepoID, env.Auth); err != nil {
+			return s.writeAck(conn, err)
+		}
+		_, err := s.svc.CreateRepository(req.RepoID, req.Opts.ToCore())
+		return s.writeAck(conn, err)
+
+	case wire.KindTrain:
+		var req wire.TrainReq
+		if err := env.Decode(&req); err != nil {
+			return s.writeAck(conn, err)
+		}
+		if err := s.allowed(req.RepoID, env.Auth); err != nil {
+			return s.writeAck(conn, err)
+		}
+		repo, err := s.svc.Repository(req.RepoID)
+		if err != nil {
+			return s.writeAck(conn, err)
+		}
+		return s.writeAck(conn, repo.Train())
+
+	case wire.KindUpdate:
+		var req wire.UpdateReq
+		if err := env.Decode(&req); err != nil {
+			return s.writeAck(conn, err)
+		}
+		if err := s.allowed(req.RepoID, env.Auth); err != nil {
+			return s.writeAck(conn, err)
+		}
+		repo, err := s.svc.Repository(req.RepoID)
+		if err != nil {
+			return s.writeAck(conn, err)
+		}
+		return s.writeAck(conn, repo.Update(&req.Update))
+
+	case wire.KindRemove:
+		var req wire.RemoveReq
+		if err := env.Decode(&req); err != nil {
+			return s.writeAck(conn, err)
+		}
+		if err := s.allowed(req.RepoID, env.Auth); err != nil {
+			return s.writeAck(conn, err)
+		}
+		repo, err := s.svc.Repository(req.RepoID)
+		if err != nil {
+			return s.writeAck(conn, err)
+		}
+		repo.Remove(req.ObjectID)
+		return s.writeAck(conn, nil)
+
+	case wire.KindSearch:
+		var req wire.SearchReq
+		if err := env.Decode(&req); err != nil {
+			return s.writeSearchResp(conn, nil, err)
+		}
+		if err := s.allowed(req.RepoID, env.Auth); err != nil {
+			return s.writeSearchResp(conn, nil, err)
+		}
+		repo, err := s.svc.Repository(req.RepoID)
+		if err != nil {
+			return s.writeSearchResp(conn, nil, err)
+		}
+		hits, err := repo.Search(&req.Query)
+		return s.writeSearchResp(conn, hits, err)
+
+	case wire.KindGet:
+		var req wire.GetReq
+		if err := env.Decode(&req); err != nil {
+			return s.writeGetResp(conn, nil, "", err)
+		}
+		if err := s.allowed(req.RepoID, env.Auth); err != nil {
+			return s.writeGetResp(conn, nil, "", err)
+		}
+		repo, err := s.svc.Repository(req.RepoID)
+		if err != nil {
+			return s.writeGetResp(conn, nil, "", err)
+		}
+		ct, owner, err := repo.Get(req.ObjectID)
+		return s.writeGetResp(conn, ct, owner, err)
+
+	default:
+		_, err := wire.WriteFrame(conn, wire.KindError, wire.Ack{Err: "unknown kind: " + env.Kind})
+		return err
+	}
+}
+
+// allowed consults the authorizer, if any.
+func (s *Server) allowed(repoID, token string) error {
+	if s.authorize == nil {
+		return nil
+	}
+	return s.authorize(repoID, token)
+}
+
+func (s *Server) writeAck(conn net.Conn, err error) error {
+	ack := wire.Ack{}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	_, werr := wire.WriteFrame(conn, wire.KindAck, ack)
+	return werr
+}
+
+func (s *Server) writeSearchResp(conn net.Conn, hits []core.SearchHit, err error) error {
+	resp := wire.SearchResp{Hits: hits}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	_, werr := wire.WriteFrame(conn, wire.KindSearchResp, resp)
+	return werr
+}
+
+func (s *Server) writeGetResp(conn net.Conn, ct []byte, owner string, err error) error {
+	resp := wire.GetResp{Ciphertext: ct, Owner: owner}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	_, werr := wire.WriteFrame(conn, wire.KindGetResp, resp)
+	return werr
+}

@@ -1,0 +1,227 @@
+package text
+
+// Porter stemming algorithm (M.F. Porter, 1980), implemented from the
+// original paper's step descriptions. The paper's MIE prototype performs
+// "standard keyword stemming" client-side before Sparse-DPE encoding; this
+// is that component.
+
+// isConsonant reports whether w[i] is a consonant in Porter's sense:
+// a letter other than a/e/i/o/u, and 'y' is a consonant only when preceded
+// by a vowel... precisely, 'y' is a vowel iff the preceding letter is a
+// consonant.
+func isConsonant(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in w[:end], where the word
+// is viewed as [C](VC)^m[V].
+func measure(w []byte, end int) int {
+	n := 0
+	i := 0
+	// skip initial consonants
+	for i < end && isConsonant(w, i) {
+		i++
+	}
+	for {
+		// skip vowels
+		for i < end && !isConsonant(w, i) {
+			i++
+		}
+		if i >= end {
+			return n
+		}
+		// skip consonants
+		for i < end && isConsonant(w, i) {
+			i++
+		}
+		n++
+		if i >= end {
+			return n
+		}
+	}
+}
+
+// hasVowel reports whether w[:end] contains a vowel.
+func hasVowel(w []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isConsonant(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether w[:end] ends with a doubled consonant.
+func endsDoubleConsonant(w []byte, end int) bool {
+	if end < 2 {
+		return false
+	}
+	return w[end-1] == w[end-2] && isConsonant(w, end-1)
+}
+
+// endsCVC reports *o: w[:end] ends consonant-vowel-consonant where the final
+// consonant is not w, x, or y.
+func endsCVC(w []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isConsonant(w, end-3) || isConsonant(w, end-2) || !isConsonant(w, end-1) {
+		return false
+	}
+	switch w[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, end int, s string) bool {
+	if end < len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if w[end-len(s)+i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stem applies the Porter algorithm to a lowercase ASCII word and returns
+// its stem. Words of length <= 2 are returned unchanged, per the original
+// algorithm.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := []byte(word)
+	end := len(w)
+
+	// Step 1a.
+	switch {
+	case hasSuffix(w, end, "sses"):
+		end -= 2
+	case hasSuffix(w, end, "ies"):
+		end -= 2
+	case hasSuffix(w, end, "ss"):
+		// no change
+	case hasSuffix(w, end, "s"):
+		end--
+	}
+
+	// Step 1b.
+	if hasSuffix(w, end, "eed") {
+		if measure(w, end-3) > 0 {
+			end--
+		}
+	} else {
+		applied := false
+		if hasSuffix(w, end, "ed") && hasVowel(w, end-2) {
+			end -= 2
+			applied = true
+		} else if hasSuffix(w, end, "ing") && hasVowel(w, end-3) {
+			end -= 3
+			applied = true
+		}
+		if applied {
+			switch {
+			case hasSuffix(w, end, "at"), hasSuffix(w, end, "bl"), hasSuffix(w, end, "iz"):
+				w = append(w[:end], 'e')
+				end++
+			case endsDoubleConsonant(w, end) && w[end-1] != 'l' && w[end-1] != 's' && w[end-1] != 'z':
+				end--
+			case measure(w, end) == 1 && endsCVC(w, end):
+				w = append(w[:end], 'e')
+				end++
+			}
+		}
+	}
+
+	// Step 1c.
+	if hasSuffix(w, end, "y") && hasVowel(w, end-1) {
+		w[end-1] = 'i'
+	}
+
+	// replaceSuffix replaces suffix s with r when measure of the stem > m.
+	replaceSuffix := func(s, r string, m int) bool {
+		if !hasSuffix(w, end, s) {
+			return false
+		}
+		stemEnd := end - len(s)
+		if measure(w, stemEnd) <= m {
+			return true // suffix matched but condition failed: stop scanning
+		}
+		w = append(w[:stemEnd], r...)
+		end = stemEnd + len(r)
+		return true
+	}
+
+	// Step 2 (m > 0 replacements, keyed by penultimate letter in the paper;
+	// a linear scan is fine at these sizes).
+	step2 := []struct{ s, r string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+		{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+		{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+	}
+	for _, p := range step2 {
+		if replaceSuffix(p.s, p.r, 0) {
+			break
+		}
+	}
+
+	// Step 3.
+	step3 := []struct{ s, r string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+		{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, p := range step3 {
+		if replaceSuffix(p.s, p.r, 0) {
+			break
+		}
+	}
+
+	// Step 4 (m > 1 deletions). ION has the extra (*S or *T) condition.
+	step4 := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+	}
+	for _, s := range step4 {
+		if !hasSuffix(w, end, s) {
+			continue
+		}
+		stemEnd := end - len(s)
+		if s == "ion" && !(stemEnd > 0 && (w[stemEnd-1] == 's' || w[stemEnd-1] == 't')) {
+			break
+		}
+		if measure(w, stemEnd) > 1 {
+			end = stemEnd
+		}
+		break
+	}
+
+	// Step 5a.
+	if hasSuffix(w, end, "e") {
+		m := measure(w, end-1)
+		if m > 1 || (m == 1 && !endsCVC(w, end-1)) {
+			end--
+		}
+	}
+	// Step 5b.
+	if measure(w, end) > 1 && endsDoubleConsonant(w, end) && w[end-1] == 'l' {
+		end--
+	}
+
+	return string(w[:end])
+}

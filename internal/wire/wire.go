@@ -1,0 +1,194 @@
+// Package wire is the framing layer of the MIE network protocol: length-
+// prefixed frames carrying gob-encoded envelopes, one request/response pair
+// per operation. All client-server traffic of Figure 1 flows through it
+// (in deployment, inside a TLS tunnel; transport security is orthogonal to
+// the scheme and stdlib crypto/tls wraps net.Conn directly).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"mie/internal/core"
+)
+
+// MaxFrameSize bounds a single frame; oversized frames indicate a corrupt
+// or malicious peer and abort the connection rather than exhausting memory.
+const MaxFrameSize = 256 << 20
+
+// Frame-level errors.
+var (
+	// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+)
+
+// Message kinds.
+const (
+	KindCreateRepo = "create-repo"
+	KindTrain      = "train"
+	KindUpdate     = "update"
+	KindRemove     = "remove"
+	KindSearch     = "search"
+	KindGet        = "get"
+	KindAck        = "ack"
+	KindSearchResp = "search-resp"
+	KindGetResp    = "get-resp"
+	KindError      = "error"
+)
+
+// Envelope is one protocol message: a kind tag, an optional bearer
+// authorization token (see internal/auth), and the gob encoding of the
+// kind's payload struct.
+type Envelope struct {
+	Kind string
+	Auth string
+	Data []byte
+}
+
+// Request payloads.
+type (
+	// CreateRepoReq creates a repository with the given engine parameters.
+	CreateRepoReq struct {
+		RepoID string
+		Opts   RepoOptions
+	}
+	// RepoOptions is the serializable subset of core.RepositoryOptions.
+	RepoOptions struct {
+		VocabWords        int
+		VocabMaxIter      int
+		TreeBranch        int
+		TreeHeight        int
+		TreeSeed          int64
+		TrainingSampleCap int
+		FusionCandidates  int
+	}
+	// TrainReq triggers server-side training.
+	TrainReq struct {
+		RepoID string
+	}
+	// UpdateReq uploads an encrypted object and its encodings.
+	UpdateReq struct {
+		RepoID string
+		Update core.Update
+	}
+	// RemoveReq deletes an object.
+	RemoveReq struct {
+		RepoID   string
+		ObjectID string
+	}
+	// SearchReq runs a multimodal query.
+	SearchReq struct {
+		RepoID string
+		Query  core.Query
+	}
+	// GetReq fetches one stored ciphertext.
+	GetReq struct {
+		RepoID   string
+		ObjectID string
+	}
+)
+
+// Response payloads.
+type (
+	// Ack acknowledges a mutation; Err is empty on success.
+	Ack struct {
+		Err string
+	}
+	// SearchResp carries ranked hits.
+	SearchResp struct {
+		Err  string
+		Hits []core.SearchHit
+	}
+	// GetResp carries one ciphertext and its owner id.
+	GetResp struct {
+		Err        string
+		Ciphertext []byte
+		Owner      string
+	}
+)
+
+// ToCore converts wire options into engine options.
+func (o RepoOptions) ToCore() core.RepositoryOptions {
+	opts := core.RepositoryOptions{
+		TrainingSampleCap: o.TrainingSampleCap,
+		FusionCandidates:  o.FusionCandidates,
+	}
+	opts.Vocab.Words = o.VocabWords
+	opts.Vocab.MaxIter = o.VocabMaxIter
+	opts.Vocab.Seed = o.TreeSeed
+	opts.Vocab.Tree.Branch = o.TreeBranch
+	opts.Vocab.Tree.Height = o.TreeHeight
+	opts.Vocab.Tree.Seed = o.TreeSeed
+	return opts
+}
+
+// WriteFrame gob-encodes payload into an envelope of the given kind and
+// writes it as one length-prefixed frame. It returns the number of bytes
+// written so callers can account transfer costs.
+func WriteFrame(w io.Writer, kind string, payload interface{}) (int, error) {
+	return WriteFrameAuth(w, kind, "", payload)
+}
+
+// WriteFrameAuth is WriteFrame with a bearer authorization token attached.
+func WriteFrameAuth(w io.Writer, kind, authToken string, payload interface{}) (int, error) {
+	var body bytes.Buffer
+	if payload != nil {
+		if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+			return 0, fmt.Errorf("wire: encode %s payload: %w", kind, err)
+		}
+	}
+	var frame bytes.Buffer
+	if err := gob.NewEncoder(&frame).Encode(Envelope{Kind: kind, Auth: authToken, Data: body.Bytes()}); err != nil {
+		return 0, fmt.Errorf("wire: encode %s envelope: %w", kind, err)
+	}
+	if frame.Len() > MaxFrameSize {
+		return 0, ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(frame.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wire: write %s header: %w", kind, err)
+	}
+	n, err := w.Write(frame.Bytes())
+	if err != nil {
+		return 0, fmt.Errorf("wire: write %s frame: %w", kind, err)
+	}
+	return 4 + n, nil
+}
+
+// ReadFrame reads one envelope. It returns the envelope, its size on the
+// wire, and any error (io.EOF on clean shutdown).
+func ReadFrame(r io.Reader) (*Envelope, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("wire: read header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrameSize {
+		return nil, 0, ErrFrameTooLarge
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, 0, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&env); err != nil {
+		return nil, 0, fmt.Errorf("wire: decode envelope: %w", err)
+	}
+	return &env, 4 + int(size), nil
+}
+
+// Decode unpacks the envelope payload into v.
+func (e *Envelope) Decode(v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(e.Data)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode %s payload: %w", e.Kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"mie/internal/core"
+	"mie/internal/dpe"
+	"mie/internal/vec"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := SearchReq{RepoID: "r1", Query: core.Query{K: 5}}
+	n, err := WriteFrame(&buf, KindSearch, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	env, rn, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != n {
+		t.Errorf("read %d bytes, wrote %d", rn, n)
+	}
+	if env.Kind != KindSearch {
+		t.Errorf("kind = %s", env.Kind)
+	}
+	var got SearchReq
+	if err := env.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.RepoID != "r1" || got.Query.K != 5 {
+		t.Errorf("decoded %+v", got)
+	}
+}
+
+func TestFrameCarriesEncodings(t *testing.T) {
+	bv := vec.NewBitVec(130)
+	bv.Set(0, true)
+	bv.Set(129, true)
+	tok := dpe.Token{1, 2, 3}
+	up := UpdateReq{
+		RepoID: "r",
+		Update: core.Update{
+			ObjectID:       "o1",
+			TextTokens:     map[dpe.Token]uint64{tok: 7},
+			ImageEncodings: []vec.BitVec{bv},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, KindUpdate, up); err != nil {
+		t.Fatal(err)
+	}
+	env, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got UpdateReq
+	if err := env.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Update.TextTokens[tok] != 7 {
+		t.Error("token map lost in transit")
+	}
+	if len(got.Update.ImageEncodings) != 1 || !got.Update.ImageEncodings[0].Equal(bv) {
+		t.Error("bit vector lost in transit")
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+	// Partial header also surfaces as EOF (clean-shutdown semantics).
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); !errors.Is(err, io.EOF) {
+		t.Errorf("partial header err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, KindAck, Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected error for truncated body")
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameGarbageBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 8)
+	buf.Write(hdr[:])
+	buf.Write([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("expected decode error for garbage body")
+	}
+}
+
+func TestRepoOptionsToCore(t *testing.T) {
+	opts := RepoOptions{VocabWords: 500, VocabMaxIter: 7, TreeBranch: 4, TreeHeight: 2, TreeSeed: 9, TrainingSampleCap: 100, FusionCandidates: 30}
+	c := opts.ToCore()
+	if c.Vocab.Words != 500 || c.Vocab.MaxIter != 7 || c.Vocab.Seed != 9 {
+		t.Errorf("vocab params lost: %+v", c.Vocab)
+	}
+	if c.Vocab.Tree.Branch != 4 || c.Vocab.Tree.Height != 2 || c.Vocab.Tree.Seed != 9 {
+		t.Errorf("tree params lost: %+v", c.Vocab.Tree)
+	}
+	if c.TrainingSampleCap != 100 || c.FusionCandidates != 30 {
+		t.Errorf("caps lost: %+v", c)
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, KindAck, Ack{Err: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	env, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong SearchResp
+	// gob is forgiving across struct shapes with shared field names; what
+	// must not happen is a panic. Decoding into a fully mismatched type
+	// (different field types) errors.
+	var n int
+	if err := env.Decode(&n); err == nil {
+		t.Error("expected error decoding struct into int")
+	}
+	_ = wrong
+}

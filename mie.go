@@ -1,0 +1,244 @@
+// Package mie is the public API of the MIE framework — Multimodal Indexable
+// Encryption (Ferreira, Leitão, Domingos; DSN 2017): encrypted storage and
+// ranked multimodal search of text+image data on untrusted servers, with the
+// heavy training and indexing computations outsourced to the server over
+// Distance Preserving Encodings.
+//
+// A minimal embedded (in-process) session:
+//
+//	key, _ := mie.NewRepositoryKey()
+//	client, _ := mie.NewClient(mie.ClientConfig{Key: key})
+//	svc := mie.NewService()
+//	repo, _ := mie.OpenLocal(svc, client, "photos", mie.RepositoryOptions{})
+//	dataKey, _ := mie.NewDataKey()
+//	_ = repo.Add(&mie.Object{ID: "p1", Text: "beach sunset", Image: img}, dataKey)
+//	_ = repo.Train()
+//	hits, _ := repo.Search(&mie.Object{ID: "q", Text: "sunset"}, 10)
+//
+// The same Repository interface works against a remote server started with
+// cmd/mie-server by replacing OpenLocal with OpenRemote.
+package mie
+
+import (
+	"fmt"
+
+	"mie/internal/audio"
+	"mie/internal/client"
+	"mie/internal/core"
+	"mie/internal/crypto"
+	"mie/internal/device"
+	"mie/internal/imaging"
+	"mie/internal/server"
+	"mie/internal/wire"
+)
+
+// Re-exported core types; see the internal packages for full documentation.
+type (
+	// Object is a multimodal data object (any subset of text, image, audio).
+	Object = core.Object
+	// Client is the trusted client-side component: feature extraction, DPE
+	// encoding and object encryption.
+	Client = core.Client
+	// ClientConfig configures a Client.
+	ClientConfig = core.ClientConfig
+	// RepositoryKey is the secret shared among a repository's users.
+	RepositoryKey = core.RepositoryKey
+	// RepositoryOptions tunes the server-side engine.
+	RepositoryOptions = core.RepositoryOptions
+	// SearchHit is one ranked search result.
+	SearchHit = core.SearchHit
+	// Service hosts repositories in process.
+	Service = core.Service
+	// DataKey encrypts a single object (fine-grained access control).
+	DataKey = crypto.Key
+	// Meter attributes client cost to the paper's sub-operation categories.
+	Meter = device.Meter
+	// Image is a grayscale image, one of the dense modalities of an Object.
+	Image = imaging.Image
+	// Clip is a mono audio clip, the third modality of an Object.
+	Clip = audio.Clip
+)
+
+// NewImage allocates a zero grayscale image of the given dimensions.
+func NewImage(w, h int) (*Image, error) { return imaging.NewImage(w, h) }
+
+// NewClip wraps mono PCM samples (nominally 16 kHz, [-1,1]) as an audio clip.
+func NewClip(samples []float64) *Clip { return audio.NewClip(samples) }
+
+// NewRepositoryKey draws a fresh repository key rk_R to be shared with
+// authorized users out of band.
+func NewRepositoryKey() (RepositoryKey, error) { return core.NewRepositoryKey() }
+
+// NewDataKey draws a fresh per-object data key dk_p.
+func NewDataKey() (DataKey, error) { return crypto.NewRandomKey() }
+
+// NewClient builds the client-side component for one repository.
+func NewClient(cfg ClientConfig) (*Client, error) { return core.NewClient(cfg) }
+
+// NewService creates an in-process MIE server component.
+func NewService() *Service { return core.NewService() }
+
+// DecryptObject recovers a plaintext object from a hit's ciphertext using
+// its data key.
+func DecryptObject(ciphertext []byte, dataKey DataKey) (*Object, error) {
+	return core.DecryptObject(ciphertext, dataKey)
+}
+
+// Repository is the user-facing handle for one shared repository: Add,
+// Remove, Train, Search, Get — the five operations of the scheme plus reads
+// — independent of whether the server runs in process or across the network.
+type Repository interface {
+	// Add uploads (or replaces) an object encrypted under dataKey.
+	Add(obj *Object, dataKey DataKey) error
+	// Remove deletes an object by id.
+	Remove(objectID string) error
+	// Train asks the server to run training and build the indexes.
+	Train() error
+	// Search returns the top-k objects most similar to the query object.
+	Search(query *Object, k int) ([]SearchHit, error)
+	// Get fetches one stored ciphertext and its owner id.
+	Get(objectID string) (ciphertext []byte, owner string, err error)
+}
+
+// localRepo binds a Client to an in-process core.Repository.
+type localRepo struct {
+	client *Client
+	repo   *core.Repository
+}
+
+var _ Repository = (*localRepo)(nil)
+
+// OpenLocal creates (or reuses) a repository on an in-process Service and
+// returns a handle bound to the given client.
+func OpenLocal(svc *Service, c *Client, repoID string, opts RepositoryOptions) (Repository, error) {
+	repo, err := svc.CreateRepository(repoID, opts)
+	if err != nil {
+		if repo, err = svc.Repository(repoID); err != nil {
+			return nil, err
+		}
+	}
+	return &localRepo{client: c, repo: repo}, nil
+}
+
+func (l *localRepo) Add(obj *Object, dataKey DataKey) error {
+	up, err := l.client.PrepareUpdate(obj, dataKey)
+	if err != nil {
+		return err
+	}
+	return l.repo.Update(up)
+}
+
+func (l *localRepo) Remove(objectID string) error {
+	l.repo.Remove(objectID)
+	return nil
+}
+
+func (l *localRepo) Train() error { return l.repo.Train() }
+
+func (l *localRepo) Search(query *Object, k int) ([]SearchHit, error) {
+	q, err := l.client.PrepareQuery(query, k)
+	if err != nil {
+		return nil, err
+	}
+	return l.repo.Search(q)
+}
+
+func (l *localRepo) Get(objectID string) ([]byte, string, error) {
+	return l.repo.Get(objectID)
+}
+
+// remoteRepo binds a Client to a network connection.
+type remoteRepo struct {
+	client *Client
+	conn   *client.Conn
+	repoID string
+}
+
+var _ Repository = (*remoteRepo)(nil)
+
+// RemoteOptions configures OpenRemote.
+type RemoteOptions struct {
+	// Create requests repository creation; set it on first open.
+	Create bool
+	// Repo holds engine parameters used when Create is set.
+	Repo RepositoryOptions
+	// Meter, when non-nil, accounts network transfer costs.
+	Meter *Meter
+}
+
+// OpenRemote dials an MIE server and returns a repository handle.
+func OpenRemote(addr string, c *Client, repoID string, opts RemoteOptions) (Repository, error) {
+	conn, err := client.Dial(addr, opts.Meter)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Create {
+		wireOpts := wire.RepoOptions{
+			VocabWords:        opts.Repo.Vocab.Words,
+			VocabMaxIter:      opts.Repo.Vocab.MaxIter,
+			TreeBranch:        opts.Repo.Vocab.Tree.Branch,
+			TreeHeight:        opts.Repo.Vocab.Tree.Height,
+			TreeSeed:          opts.Repo.Vocab.Seed,
+			TrainingSampleCap: opts.Repo.TrainingSampleCap,
+			FusionCandidates:  opts.Repo.FusionCandidates,
+		}
+		if err := conn.CreateRepository(repoID, wireOpts); err != nil {
+			if cerr := conn.Close(); cerr != nil {
+				return nil, fmt.Errorf("%v (close: %w)", err, cerr)
+			}
+			return nil, err
+		}
+	}
+	return &remoteRepo{client: c, conn: conn, repoID: repoID}, nil
+}
+
+func (r *remoteRepo) Add(obj *Object, dataKey DataKey) error {
+	up, err := r.client.PrepareUpdate(obj, dataKey)
+	if err != nil {
+		return err
+	}
+	return r.conn.Update(r.repoID, up)
+}
+
+func (r *remoteRepo) Remove(objectID string) error {
+	return r.conn.Remove(r.repoID, objectID)
+}
+
+func (r *remoteRepo) Train() error { return r.conn.Train(r.repoID) }
+
+func (r *remoteRepo) Search(query *Object, k int) ([]SearchHit, error) {
+	q, err := r.client.PrepareQuery(query, k)
+	if err != nil {
+		return nil, err
+	}
+	return r.conn.Search(r.repoID, q)
+}
+
+func (r *remoteRepo) Get(objectID string) ([]byte, string, error) {
+	return r.conn.Get(r.repoID, objectID)
+}
+
+// Close releases a remote repository's connection; local handles ignore it.
+func Close(r Repository) error {
+	if rr, ok := r.(*remoteRepo); ok {
+		return rr.conn.Close()
+	}
+	return nil
+}
+
+// Serve starts an MIE server on addr backed by svc and returns it; callers
+// own its lifecycle. The returned server's Addr reports the bound address
+// (useful with ":0").
+func Serve(addr string, svc *Service) (*server.Server, error) {
+	return server.New(addr, svc, nil)
+}
+
+// SaveService snapshots every hosted repository into dir (one file each,
+// replaced atomically); LoadService restores them. Together they give an
+// embedded deployment the same durability cmd/mie-server's -data-dir flag
+// provides.
+func SaveService(svc *Service, dir string) error { return core.SaveService(svc, dir) }
+
+// LoadService restores a Service from a snapshot directory written by
+// SaveService. A fresh (nonexistent) directory yields an empty service.
+func LoadService(dir string) (*Service, error) { return core.LoadService(dir, nil) }

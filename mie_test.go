@@ -1,0 +1,227 @@
+package mie
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mie/internal/cluster"
+	"mie/internal/dpe"
+	"mie/internal/imaging"
+)
+
+func testPhoto(t *testing.T, seed int64) *Image {
+	t.Helper()
+	img, err := NewImage(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float64()
+	}
+	return img
+}
+
+func smallClientConfig(key RepositoryKey) ClientConfig {
+	return ClientConfig{
+		Key:     key,
+		Dense:   dpe.DenseParams{InDim: imaging.DescriptorDim, OutDim: 256, Threshold: 0.5},
+		Pyramid: imaging.PyramidParams{Scales: []int{16}},
+	}
+}
+
+func smallRepoOptions() RepositoryOptions {
+	return RepositoryOptions{Vocab: cluster.VocabParams{
+		Words:   20,
+		Tree:    cluster.TreeParams{Branch: 3, Height: 2, Seed: 1},
+		Seed:    1,
+		MaxIter: 10,
+	}}
+}
+
+func TestLocalRepositoryLifecycle(t *testing.T) {
+	key, err := NewRepositoryKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(smallClientConfig(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService()
+	repo, err := OpenLocal(svc, client, "r1", smallRepoOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := NewDataKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]string{
+		"d1": "solar panels renewable energy installation",
+		"d2": "wind turbines renewable power grid",
+		"d3": "chocolate cake recipe dessert baking",
+	}
+	for id, text := range docs {
+		if err := repo.Add(&Object{ID: id, Owner: "u", Text: text, Image: testPhoto(t, int64(len(id)))}, dk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := repo.Train(); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := repo.Search(&Object{ID: "q", Text: "renewable energy"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for _, h := range hits {
+		if h.ObjectID == "d3" {
+			t.Error("irrelevant doc ranked in top 2")
+		}
+	}
+	ct, owner, err := repo.Get(hits[0].ObjectID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != "u" {
+		t.Errorf("owner = %q", owner)
+	}
+	obj, err := DecryptObject(ct, dk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Text != docs[hits[0].ObjectID] {
+		t.Error("decrypted text mismatch")
+	}
+	if err := repo.Remove(hits[0].ObjectID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repo.Get(hits[0].ObjectID); err == nil {
+		t.Error("removed object still present")
+	}
+	// Close on a local repository is a no-op.
+	if err := Close(repo); err != nil {
+		t.Errorf("local close: %v", err)
+	}
+}
+
+func TestOpenLocalReusesExistingRepository(t *testing.T) {
+	key, err := NewRepositoryKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(smallClientConfig(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService()
+	a, err := OpenLocal(svc, client, "shared", smallRepoOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := NewDataKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(&Object{ID: "x", Text: "hello world content"}, dk); err != nil {
+		t.Fatal(err)
+	}
+	// Second open must see the same repository.
+	b, err := OpenLocal(svc, client, "shared", smallRepoOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Get("x"); err != nil {
+		t.Errorf("second handle can't see object: %v", err)
+	}
+}
+
+func TestRemoteRepositoryOverTCP(t *testing.T) {
+	svc := NewService()
+	srv, err := Serve("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	key, err := NewRepositoryKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(smallClientConfig(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := OpenRemote(srv.Addr(), client, "remote", RemoteOptions{Create: true, Repo: smallRepoOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := Close(repo); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	dk, err := NewDataKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, text := range []string{"alpha document one", "beta document two", "gamma note three"} {
+		if err := repo.Add(&Object{ID: string(rune('a' + i)), Owner: "me", Text: text}, dk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := repo.Train(); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := repo.Search(&Object{ID: "q", Text: "beta"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ObjectID != "b" {
+		t.Errorf("hits = %+v", hits)
+	}
+	if err := repo.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repo.Get("b"); err == nil || !strings.Contains(err.Error(), "unknown object") {
+		t.Errorf("get removed: err = %v", err)
+	}
+}
+
+func TestOpenRemoteCreateConflict(t *testing.T) {
+	svc := NewService()
+	srv, err := Serve("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	key, err := NewRepositoryKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(smallClientConfig(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := OpenRemote(srv.Addr(), client, "dup", RemoteOptions{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = Close(r1) })
+	if _, err := OpenRemote(srv.Addr(), client, "dup", RemoteOptions{Create: true}); err == nil {
+		t.Error("expected error creating duplicate repository")
+	}
+	// Without Create the open succeeds.
+	r2, err := OpenRemote(srv.Addr(), client, "dup", RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = Close(r2) })
+}
