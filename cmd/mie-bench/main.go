@@ -4,14 +4,22 @@
 // Usage:
 //
 //	mie-bench [-scale quick|default|paper] [-experiment all|table1|table2|fig2|fig3|fig4|fig5|fig6|table3|attack|ablations]
+//	          [-obs-out BENCH_obs.json]
 //
 // The default scale runs the whole suite in minutes on a laptop by shrinking
 // workloads ~10x; -scale paper restores the published sizes (expect the
 // Hom-MSSE runs to take a very long time — on the paper's tablet they
 // drained the battery).
+//
+// Every run also dumps the process metrics registry (phase latency
+// histograms with quantiles, request counters, repository gauges — see
+// internal/obs) as machine-readable JSON to -obs-out, so successive PRs have
+// a perf trajectory to diff instead of eyeballing report text. Set
+// -obs-out "" to skip the dump.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,16 +27,45 @@ import (
 
 	"mie/internal/device"
 	"mie/internal/experiments"
+	"mie/internal/obs"
 )
 
 func main() {
 	scale := flag.String("scale", "default", "workload scale: quick, default, paper-sample, or paper")
 	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig2, fig3, fig4, fig5, fig6, table3, attack, ablations")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "write the metrics registry snapshot as JSON to this file (empty = skip)")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-bench:", err)
 		os.Exit(1)
 	}
+	if *obsOut != "" {
+		if err := writeObsSnapshot(*obsOut, *scale, *experiment); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// obsReport is the BENCH_obs.json document: run parameters plus the full
+// registry snapshot accumulated while the experiments exercised the engine.
+type obsReport struct {
+	Scale      string       `json:"scale"`
+	Experiment string       `json:"experiment"`
+	Metrics    obs.Snapshot `json:"metrics"`
+}
+
+func writeObsSnapshot(path, scale, experiment string) error {
+	report := obsReport{Scale: scale, Experiment: experiment, Metrics: obs.Default().Snapshot()}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal obs snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write obs snapshot: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", path)
+	return nil
 }
 
 func run(scale, experiment string) error {

@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mie"
 	"mie/internal/crypto"
 	"mie/internal/imaging"
+	"mie/internal/obs"
 )
 
 func main() {
@@ -37,8 +39,26 @@ func main() {
 	keyFile := flag.String("key", "repo.key", "repository key file")
 	k := flag.Int("k", 10, "number of search results")
 	imagePath := flag.String("image", "", "PGM image for query-by-example searches")
+	verbose := flag.Bool("v", false, "log per-operation client-side timings to stderr")
 	flag.Parse()
-	if err := run(*serverAddr, *keyFile, *k, *imagePath, flag.Args()); err != nil {
+	logger := obs.Nop()
+	if *verbose {
+		logger = obs.NewLogger(os.Stderr, obs.LevelDebug)
+	}
+	start := time.Now()
+	err := run(*serverAddr, *keyFile, *k, *imagePath, flag.Args())
+	cmd := ""
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	logger.Info("command finished", "cmd", cmd, "elapsed", time.Since(start), "ok", err == nil)
+	if *verbose {
+		// The client-side half of the paper's latency split: prepare/encode
+		// phase spans plus per-kind network round-trip histograms.
+		fmt.Fprintln(os.Stderr, "--- client metrics ---")
+		_ = obs.Default().WriteMetrics(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mie-client:", err)
 		os.Exit(1)
 	}

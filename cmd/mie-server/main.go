@@ -5,24 +5,28 @@
 // Usage:
 //
 //	mie-server [-addr :7709] [-data-dir /var/lib/mie] [-snapshot-every 5m]
+//	           [-debug-addr 127.0.0.1:7710] [-log-level info]
 //
 // With -data-dir the server restores all repositories from snapshots on
 // startup and persists them on shutdown and every -snapshot-every interval.
-// The server holds no key material: everything it stores and computes on is
-// encrypted or encoded client-side. Point mie-client (or any program built
-// on the public mie package) at its address.
+// With -debug-addr it additionally serves the observability endpoint:
+// /metrics (plain-text exposition), /metrics.json, /debug/vars (expvar) and
+// /debug/pprof — bind it to a trusted interface only. The server holds no
+// key material: everything it stores and computes on is encrypted or encoded
+// client-side. Point mie-client (or any program built on the public mie
+// package) at its address.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"mie/internal/core"
+	"mie/internal/obs"
 	"mie/internal/server"
 )
 
@@ -30,32 +34,46 @@ func main() {
 	addr := flag.String("addr", ":7709", "listen address")
 	dataDir := flag.String("data-dir", "", "snapshot directory for durable repositories (empty = in-memory only)")
 	snapEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (with -data-dir)")
+	debugAddr := flag.String("debug-addr", "", "observability HTTP address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
-	if err := run(*addr, *dataDir, *snapEvery); err != nil {
+	if err := run(*addr, *dataDir, *snapEvery, *debugAddr, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, snapEvery time.Duration) error {
-	logger := log.New(os.Stderr, "mie-server ", log.LstdFlags)
+func run(addr, dataDir string, snapEvery time.Duration, debugAddr, logLevel string) error {
+	level, err := obs.ParseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	svc := core.NewService()
 	if dataDir != "" {
 		loaded, err := core.LoadService(dataDir, nil)
 		if err != nil {
 			// Partial loads keep the healthy repositories; log and serve.
-			logger.Printf("restore warning: %v", err)
+			logger.Warn("restore incomplete", "err", err)
 		}
 		svc = loaded
-		logger.Printf("restored %d repositories from %s", len(svc.Repositories()), dataDir)
+		logger.Info("restored repositories", "count", len(svc.Repositories()), "dir", dataDir)
+	}
+
+	if debugAddr != "" {
+		dbg, err := obs.ServeDebug(debugAddr, obs.Default(), logger)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dbg.Close() }()
 	}
 
 	srv, err := server.New(addr, svc, logger)
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving on %s", srv.Addr())
+	logger.Info("serving", "addr", srv.Addr())
 
 	stopSnap := make(chan struct{})
 	snapDone := make(chan struct{})
@@ -68,7 +86,7 @@ func run(addr, dataDir string, snapEvery time.Duration) error {
 				select {
 				case <-ticker.C:
 					if err := core.SaveService(svc, dataDir); err != nil {
-						logger.Printf("periodic snapshot: %v", err)
+						logger.Error("periodic snapshot failed", "err", err)
 					}
 				case <-stopSnap:
 					return
@@ -82,14 +100,14 @@ func run(addr, dataDir string, snapEvery time.Duration) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	logger.Print("shutting down")
+	logger.Info("shutting down")
 	close(stopSnap)
 	<-snapDone
 	if dataDir != "" {
 		if err := core.SaveService(svc, dataDir); err != nil {
-			logger.Printf("final snapshot: %v", err)
+			logger.Error("final snapshot failed", "err", err)
 		} else {
-			logger.Printf("snapshots written to %s", dataDir)
+			logger.Info("snapshots written", "dir", dataDir)
 		}
 	}
 	return srv.Close()

@@ -9,29 +9,54 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mie/internal/core"
 	"mie/internal/device"
+	"mie/internal/obs"
 	"mie/internal/wire"
 )
+
+// Option customizes a Conn.
+type Option func(*Conn)
+
+// WithObservability records the connection's metrics into reg instead of the
+// process-wide obs.Default() registry.
+func WithObservability(reg *obs.Registry) Option {
+	return func(c *Conn) { c.reg = reg }
+}
 
 // Conn is a client connection to one MIE server. Calls are serialized over
 // a single TCP connection (one in-flight request per Conn); open several
 // Conns for parallelism.
+//
+// Every round trip records a client_request_seconds{kind=...} latency
+// histogram and tx/rx byte counters, so the client-vs-cloud latency split of
+// the paper's Table 2 can be read off a live deployment: client-side wall
+// time is client_request_seconds, the cloud's share of it is the matching
+// server_request_seconds, and the difference is the network.
 type Conn struct {
 	mu    sync.Mutex
 	tcp   net.Conn
 	meter *device.Meter
+	reg   *obs.Registry
 	token string
 }
 
 // Dial connects to an MIE server. meter may be nil.
-func Dial(addr string, meter *device.Meter) (*Conn, error) {
+func Dial(addr string, meter *device.Meter, opts ...Option) (*Conn, error) {
 	tcp, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Conn{tcp: tcp, meter: meter}, nil
+	c := &Conn{tcp: tcp, meter: meter}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.reg == nil {
+		c.reg = obs.Default()
+	}
+	return c, nil
 }
 
 // Close shuts the connection down.
@@ -47,7 +72,14 @@ func (c *Conn) SetToken(token string) {
 
 // roundTrip sends one request and reads one response, accounting bytes to
 // the given cost category.
-func (c *Conn) roundTrip(cat device.Category, kind string, req, resp interface{}) error {
+func (c *Conn) roundTrip(cat device.Category, kind string, req, resp interface{}) (err error) {
+	start := time.Now()
+	defer func() {
+		c.reg.Histogram(obs.L("client_request_seconds", "kind", kind)).Observe(time.Since(start).Seconds())
+		if err != nil {
+			c.reg.Counter(obs.L("client_request_errors_total", "kind", kind)).Inc()
+		}
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	up, err := wire.WriteFrameAuth(c.tcp, kind, c.token, req)
@@ -58,6 +90,8 @@ func (c *Conn) roundTrip(cat device.Category, kind string, req, resp interface{}
 	if err != nil {
 		return fmt.Errorf("client: %s response: %w", kind, err)
 	}
+	c.reg.Counter("client_tx_bytes_total").Add(int64(up))
+	c.reg.Counter("client_rx_bytes_total").Add(int64(down))
 	if c.meter != nil {
 		c.meter.AddTransfer(cat, int64(up), int64(down))
 	}

@@ -9,6 +9,7 @@ import (
 	"mie/internal/device"
 	"mie/internal/dpe"
 	"mie/internal/imaging"
+	"mie/internal/obs"
 	"mie/internal/text"
 	"mie/internal/vec"
 )
@@ -138,9 +139,14 @@ func (c *Client) PrepareUpdate(obj *Object, dataKey crypto.Key) (*Update, error)
 	if obj.Text == "" && obj.Image == nil && obj.Audio == nil {
 		return nil, ErrEmptyObject
 	}
+	sp := obs.StartSpan(obs.Default(), "client/prepare_update")
+	defer sp.End()
+	esp := sp.Child("extract")
 	hist, descs, audioDescs := c.extractFeatures(obj)
+	esp.End()
 	up := &Update{ObjectID: obj.ID, Owner: obj.Owner}
 	var encodeErr error
+	csp := sp.Child("encode")
 	c.timeCPU(device.Encrypt, func() {
 		up.TextTokens = c.encodeText(hist)
 		up.ImageEncodings, encodeErr = c.encodeDense(c.dense, descs)
@@ -158,6 +164,7 @@ func (c *Client) PrepareUpdate(obj *Object, dataKey crypto.Key) (*Update, error)
 		}
 		up.Ciphertext, encodeErr = crypto.NewCipher(dataKey).Encrypt(plain)
 	})
+	csp.End()
 	if encodeErr != nil {
 		return nil, encodeErr
 	}
@@ -174,9 +181,14 @@ func (c *Client) PrepareQuery(obj *Object, k int) (*Query, error) {
 	if obj.Text == "" && obj.Image == nil && obj.Audio == nil {
 		return nil, ErrEmptyObject
 	}
+	sp := obs.StartSpan(obs.Default(), "client/prepare_query")
+	defer sp.End()
+	esp := sp.Child("extract")
 	hist, descs, audioDescs := c.extractFeatures(obj)
+	esp.End()
 	q := &Query{K: k}
 	var encodeErr error
+	csp := sp.Child("encode")
 	c.timeCPU(device.Encrypt, func() {
 		q.TextTokens = c.encodeText(hist)
 		q.ImageEncodings, encodeErr = c.encodeDense(c.dense, descs)
@@ -185,6 +197,7 @@ func (c *Client) PrepareQuery(obj *Object, k int) (*Query, error) {
 		}
 		q.AudioEncodings, encodeErr = c.encodeDense(c.audioDense, audioDescs)
 	})
+	csp.End()
 	if encodeErr != nil {
 		return nil, encodeErr
 	}

@@ -11,8 +11,30 @@ import (
 	"mie/internal/dpe"
 	"mie/internal/fusion"
 	"mie/internal/index"
+	"mie/internal/obs"
 	"mie/internal/vec"
 )
+
+// repoMetrics holds a repository's observability handles. Phase timings
+// (train, index build, per-modality search, fusion) land in the process
+// registry as phase_seconds{phase=repo/...} histograms — the cloud-side half
+// of the paper's latency breakdowns — and the gauges track repository and
+// codebook sizes.
+type repoMetrics struct {
+	reg             *obs.Registry
+	objects         *obs.Gauge
+	vocabWords      *obs.Gauge
+	audioVocabWords *obs.Gauge
+}
+
+func newRepoMetrics(reg *obs.Registry, id string) *repoMetrics {
+	return &repoMetrics{
+		reg:             reg,
+		objects:         reg.Gauge(obs.L("repo_objects", "repo", id)),
+		vocabWords:      reg.Gauge(obs.L("repo_vocab_words", "repo", id)),
+		audioVocabWords: reg.Gauge(obs.L("repo_audio_vocab_words", "repo", id)),
+	}
+}
 
 // Common repository errors.
 var (
@@ -91,6 +113,7 @@ type storedObject struct {
 type Repository struct {
 	id   string
 	opts RepositoryOptions
+	met  *repoMetrics
 
 	mu         sync.RWMutex
 	objects    map[string]*storedObject
@@ -113,6 +136,7 @@ func NewRepository(id string, opts RepositoryOptions) (*Repository, error) {
 	r := &Repository{
 		id:      id,
 		opts:    opts,
+		met:     newRepoMetrics(obs.Default(), id),
 		objects: make(map[string]*storedObject),
 		leak:    newLeakage(),
 	}
@@ -168,6 +192,8 @@ func (r *Repository) Update(up *Update) error {
 	if up.ObjectID == "" {
 		return errors.New("core: update needs an object id")
 	}
+	sp := obs.StartSpan(r.met.reg, "repo/update")
+	defer sp.End()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, exists := r.objects[up.ObjectID]; exists {
@@ -181,9 +207,13 @@ func (r *Repository) Update(up *Update) error {
 		audioEncs:  up.AudioEncodings,
 	}
 	r.objects[up.ObjectID] = obj
+	r.met.objects.Set(int64(len(r.objects)))
 	r.leak.recordUpdate(up)
 	if r.trained {
-		return r.indexLocked(up.ObjectID, obj)
+		isp := sp.Child("index")
+		err := r.indexLocked(up.ObjectID, obj)
+		isp.End()
+		return err
 	}
 	return nil
 }
@@ -194,6 +224,7 @@ func (r *Repository) Remove(objectID string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.removeLocked(objectID)
+	r.met.objects.Set(int64(len(r.objects)))
 	r.leak.recordRemove(objectID)
 }
 
@@ -234,6 +265,8 @@ func (r *Repository) Get(objectID string) (ciphertext []byte, owner string, err 
 // training; their index is simply (re)built. Train may be invoked again
 // later to retrain with different parameters.
 func (r *Repository) Train() error {
+	sp := obs.StartSpan(r.met.reg, "repo/train")
+	defer sp.End()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -261,24 +294,33 @@ func (r *Repository) Train() error {
 	// its index dormant — a later Train call can build it once data exists.
 	if r.hasModality(ModalityImage) {
 		if sample := sampleOf(func(o *storedObject) []vec.BitVec { return o.imageEncs }); len(sample) > 0 {
+			csp := sp.Child("image_codebook")
 			vocab, err := r.trainDenseVocab(sample)
+			csp.End()
 			if err != nil {
 				return fmt.Errorf("core: train image codebook: %w", err)
 			}
 			r.vocab = vocab
+			r.met.vocabWords.Set(int64(vocab.Size()))
 		}
 	}
 	if r.hasModality(ModalityAudio) {
 		if sample := sampleOf(func(o *storedObject) []vec.BitVec { return o.audioEncs }); len(sample) > 0 {
+			csp := sp.Child("audio_codebook")
 			vocab, err := r.trainDenseVocab(sample)
+			csp.End()
 			if err != nil {
 				return fmt.Errorf("core: train audio codebook: %w", err)
 			}
 			r.audioVocab = vocab
+			r.met.audioVocabWords.Set(int64(vocab.Size()))
 		}
 	}
 
-	if err := r.buildIndexesLocked(); err != nil {
+	bsp := sp.Child("build_indexes")
+	err := r.buildIndexesLocked()
+	bsp.End()
+	if err != nil {
 		return err
 	}
 	r.trained = true
@@ -402,6 +444,8 @@ func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchH
 	if q.K <= 0 {
 		return nil, errors.New("core: query k must be positive")
 	}
+	sp := obs.StartSpan(r.met.reg, "repo/search")
+	defer sp.End()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 
@@ -411,15 +455,24 @@ func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchH
 	}
 	var lists [][]index.Result
 	if len(q.TextTokens) > 0 && r.hasModality(ModalityText) {
-		lists = append(lists, r.searchTextLocked(q, depth))
+		sp.Time("text_lookup", func() {
+			lists = append(lists, r.searchTextLocked(q, depth))
+		})
 	}
 	if len(q.ImageEncodings) > 0 && r.hasModality(ModalityImage) {
-		lists = append(lists, r.searchImageLocked(q, depth))
+		sp.Time("image_lookup", func() {
+			lists = append(lists, r.searchImageLocked(q, depth))
+		})
 	}
 	if len(q.AudioEncodings) > 0 && r.hasModality(ModalityAudio) {
-		lists = append(lists, r.searchAudioLocked(q, depth))
+		sp.Time("audio_lookup", func() {
+			lists = append(lists, r.searchAudioLocked(q, depth))
+		})
 	}
+	fsp := sp.Child("fusion")
 	fused := fusion.Fuse(method, lists, q.K)
+	fsp.End()
+	csp := sp.Child("collect")
 	hits := make([]SearchHit, 0, len(fused))
 	for _, res := range fused {
 		obj, ok := r.objects[string(res.Doc)]
@@ -434,6 +487,7 @@ func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchH
 			Ciphertext: obj.ciphertext,
 		})
 	}
+	csp.End()
 	r.leak.recordSearch(q)
 	return hits, nil
 }

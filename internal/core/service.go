@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"mie/internal/obs"
 )
 
 // Service errors.
@@ -18,13 +20,17 @@ var (
 // independent repositories, each shared by its own set of authorized users
 // (Figure 1). It is the object cmd/mie-server exposes over the network.
 type Service struct {
-	mu    sync.RWMutex
-	repos map[string]*Repository
+	mu        sync.RWMutex
+	repos     map[string]*Repository
+	repoGauge *obs.Gauge
 }
 
 // NewService creates an empty service.
 func NewService() *Service {
-	return &Service{repos: make(map[string]*Repository)}
+	return &Service{
+		repos:     make(map[string]*Repository),
+		repoGauge: obs.Default().Gauge("service_repositories"),
+	}
 }
 
 // CreateRepository initializes a new repository (Algorithm 5's cloud half).
@@ -39,6 +45,7 @@ func (s *Service) CreateRepository(id string, opts RepositoryOptions) (*Reposito
 		return nil, err
 	}
 	s.repos[id] = r
+	s.repoGauge.Set(int64(len(s.repos)))
 	return r, nil
 }
 
@@ -73,6 +80,7 @@ func (s *Service) DropRepository(id string) error {
 		return fmt.Errorf("%w: %s", ErrRepoNotFound, id)
 	}
 	delete(s.repos, id)
+	s.repoGauge.Set(int64(len(s.repos)))
 	return r.Close()
 }
 
@@ -87,5 +95,6 @@ func (s *Service) Close() error {
 		}
 	}
 	s.repos = make(map[string]*Repository)
+	s.repoGauge.Set(0)
 	return firstErr
 }

@@ -11,6 +11,7 @@ import (
 
 	"mie/internal/cluster"
 	"mie/internal/dpe"
+	"mie/internal/obs"
 	"mie/internal/vec"
 )
 
@@ -44,6 +45,8 @@ type snapshot struct {
 // Snapshot serializes the repository's durable state to w. Safe to call
 // concurrently with reads; writers are blocked for the duration.
 func (r *Repository) Snapshot(w io.Writer) error {
+	sp := obs.StartSpan(r.met.reg, "repo/snapshot")
+	defer sp.End()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	snap := snapshot{
@@ -113,6 +116,7 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 			audioEncs:  so.AudioEncs,
 		}
 	}
+	r.met.objects.Set(int64(len(r.objects)))
 	if !snap.Trained {
 		return r, nil
 	}
@@ -130,6 +134,7 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 			return nil, fmt.Errorf("core: restore vocabulary: %w", err)
 		}
 		r.vocab = vocab
+		r.met.vocabWords.Set(int64(vocab.Size()))
 	}
 	if len(snap.AudioWords) > 0 {
 		vocab, err := cluster.NewVocabularyFromWords(snap.AudioWords, r.opts.Vocab.Tree, hamCluster, dist)
@@ -137,6 +142,7 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 			return nil, fmt.Errorf("core: restore audio vocabulary: %w", err)
 		}
 		r.audioVocab = vocab
+		r.met.audioVocabWords.Set(int64(vocab.Size()))
 	}
 	if err := r.buildIndexesLocked(); err != nil {
 		return nil, err
@@ -212,6 +218,7 @@ func LoadService(dir string, indexOpts *RepositoryOptions) (*Service, error) {
 		}
 		s.mu.Lock()
 		s.repos[repo.ID()] = repo
+		s.repoGauge.Set(int64(len(s.repos)))
 		s.mu.Unlock()
 	}
 	if len(loadErrs) > 0 {

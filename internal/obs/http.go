@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer is the opt-in HTTP observability endpoint of an MIE process
+// (mie-server's -debug-addr flag). It exposes:
+//
+//	/metrics     plain-text metric exposition of the bound registry
+//	/metrics.json  the same snapshot as JSON (mie-bench's BENCH_obs.json shape)
+//	/debug/vars  expvar (Go runtime memstats plus published vars)
+//	/debug/pprof the full net/http/pprof suite (CPU/heap/goroutine profiles)
+//	/healthz     liveness probe
+//
+// It binds its own listener so it can never contend with the wire protocol
+// port, and must only be exposed on trusted interfaces: profiles and metrics
+// leak operational patterns (not plaintexts — the server never has those —
+// but access frequencies are exactly the leakage the paper's §IV analysis
+// bounds, so don't hand them to untrusted observers).
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+var expvarOnce sync.Once
+
+// ServeDebug starts a debug server on addr (use ":0" for an ephemeral port).
+// The registry snapshot is also published as the expvar "mie" on first call.
+func ServeDebug(addr string, reg *Registry, logger *Logger) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("mie", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := reg.WriteMetrics(w); err != nil {
+			logger.Warn("metrics exposition failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			logger.Warn("metrics json failed", "err", err)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	d := &DebugServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		if err := d.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("debug server exited", "err", err)
+		}
+	}()
+	logger.Info("debug server listening", "addr", ln.Addr().String())
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the debug server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

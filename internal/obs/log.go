@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	levelOff // internal: above every real level, used by Nop
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// ParseLevel maps a level name to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled structured logger emitting one `key=value` line per
+// event:
+//
+//	time=2026-08-06T12:00:00.000Z level=info msg="serving" addr=127.0.0.1:7709
+//
+// It replaces the bare *log.Logger plumbing of the server path: the fixed
+// shape makes server logs greppable per field and machine-parsable without a
+// log pipeline. A nil *Logger discards everything, so callers never need
+// nil checks.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+}
+
+// NewLogger writes events at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+// Nop returns a logger that discards everything.
+func Nop() *Logger {
+	l := &Logger{w: io.Discard}
+	l.min.Store(int32(levelOff))
+	return l
+}
+
+// SetLevel changes the minimum emitted level at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether events at lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= Level(l.min.Load())
+}
+
+// Debug logs a debug event with alternating key/value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv...) }
+
+// Info logs an informational event.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv...) }
+
+// Warn logs a warning.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv...) }
+
+// Error logs an error event.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv...) }
+
+func (l *Logger) log(lv Level, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("time=")
+	b.WriteString(timeNow().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		b.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
+	}
+	if len(kv)%2 != 0 { // dangling key: surface it rather than drop it
+		b.WriteString(" !BADKEY=")
+		b.WriteString(quoteValue(fmt.Sprint(kv[len(kv)-1])))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// quoteValue quotes values containing spaces, quotes or control characters
+// so lines stay splittable on spaces.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for _, r := range s {
+		if r == ' ' || r == '"' || r == '=' || r < 0x20 {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

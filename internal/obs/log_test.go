@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("hidden", "k", "v")
+	l.Info("served request", "kind", "search", "bytes", 123)
+	l.Error("read failed", "err", "connection reset by peer")
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (debug filtered):\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], `level=info`) || !strings.Contains(lines[0], `msg="served request"`) ||
+		!strings.Contains(lines[0], "kind=search") || !strings.Contains(lines[0], "bytes=123") {
+		t.Errorf("info line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `err="connection reset by peer"`) {
+		t.Errorf("error line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "time=") {
+		t.Errorf("line missing timestamp: %q", lines[0])
+	}
+}
+
+func TestLoggerDanglingKey(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.Info("oops", "orphan")
+	if !strings.Contains(buf.String(), "!BADKEY=orphan") {
+		t.Errorf("dangling key not surfaced: %q", buf.String())
+	}
+}
+
+func TestNilAndNopLogger(t *testing.T) {
+	var l *Logger
+	l.Info("must not panic")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger should report disabled")
+	}
+	n := Nop()
+	n.Error("discarded")
+	if n.Enabled(LevelError) {
+		t.Error("nop logger should report disabled")
+	}
+}
+
+func TestSetLevelAndParse(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelError)
+	l.Info("hidden")
+	l.SetLevel(LevelDebug)
+	l.Debug("visible")
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("got %d lines, want 1: %q", got, buf.String())
+	}
+	for name, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(name)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}

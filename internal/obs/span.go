@@ -1,0 +1,72 @@
+package obs
+
+import "time"
+
+// timeNow is swappable for deterministic span tests.
+var timeNow = time.Now
+
+// Span measures the wall time of one named phase and records it into a
+// registry histogram `phase_seconds{phase=<path>}` when ended. Spans nest:
+// a child's path is `parent/child`, so one Search RPC decomposes into
+// `rpc/search` -> `rpc/search/decode` -> ... and the registry accumulates a
+// latency distribution per phase path. This is how the repo reproduces the
+// paper's phase-level breakdowns (client encode vs. cloud train/index/search)
+// on live traffic instead of in one-off experiments.
+//
+// Spans are cheap (two time.Now calls and one histogram observation) and
+// intentionally not goroutine-safe: a span belongs to the goroutine that
+// started it. A nil *Span is a valid no-op, so instrumented code does not
+// need nil registry checks.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+	ended bool
+}
+
+// StartSpan begins a root phase span. A nil registry yields a no-op span.
+func StartSpan(reg *Registry, name string) *Span {
+	if reg == nil {
+		return nil
+	}
+	return &Span{reg: reg, path: name, start: timeNow()}
+}
+
+// Child begins a nested span whose path extends the parent's.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{reg: s.reg, path: s.path + "/" + name, start: timeNow()}
+}
+
+// Path returns the span's full phase path.
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End stops the span, records its duration into the registry and returns it.
+// End is idempotent; only the first call records.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := timeNow().Sub(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	s.reg.Histogram(L("phase_seconds", "phase", s.path)).Observe(d.Seconds())
+	return d
+}
+
+// Time runs fn under a span named name (nested under s if s is non-nil) and
+// returns its duration — the one-liner form for straight-line phases.
+func (s *Span) Time(name string, fn func()) time.Duration {
+	child := s.Child(name)
+	fn()
+	return child.End()
+}

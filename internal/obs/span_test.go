@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsPhaseHierarchy(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	timeNow = func() time.Time {
+		now = now.Add(10 * time.Millisecond)
+		return now
+	}
+	defer func() { timeNow = time.Now }()
+
+	reg := NewRegistry()
+	sp := StartSpan(reg, "rpc/search")
+	child := sp.Child("decode")
+	child.End()
+	sp.Time("fusion", func() {})
+	sp.End()
+
+	for _, phase := range []string{"rpc/search", "rpc/search/decode", "rpc/search/fusion"} {
+		h := reg.Histogram(L("phase_seconds", "phase", phase))
+		if h.Count() != 1 {
+			t.Errorf("phase %s count = %d, want 1", phase, h.Count())
+		}
+		if h.Sum() <= 0 {
+			t.Errorf("phase %s sum = %v, want > 0", phase, h.Sum())
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	sp := StartSpan(reg, "p")
+	sp.End()
+	sp.End()
+	if got := reg.Histogram(L("phase_seconds", "phase", "p")).Count(); got != 1 {
+		t.Errorf("count after double End = %d, want 1", got)
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil End = %v", d)
+	}
+	if sp.Child("x") != nil {
+		t.Error("nil Child should stay nil")
+	}
+	sp.Time("y", func() {}) // must not panic
+	if StartSpan(nil, "z") != nil {
+		t.Error("StartSpan(nil) should return nil")
+	}
+}

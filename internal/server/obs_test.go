@@ -1,0 +1,344 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mie/internal/core"
+	"mie/internal/obs"
+	"mie/internal/wire"
+)
+
+// metricValue extracts the value of one exact metric line from a plain-text
+// exposition body; -1 if absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+func TestAuthorizerDeniesEveryKind(t *testing.T) {
+	reg := obs.NewRegistry()
+	deny := func(repoID, token string) error { return errors.New("denied: no token") }
+	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithAuthorizer(deny), WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	conn := dial(t, srv, nil)
+	cc := newCoreClient(t, nil)
+
+	if err := conn.CreateRepository("locked", smallOpts()); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("create-repo deny: err = %v", err)
+	}
+	if err := conn.Train("locked"); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("train deny: err = %v", err)
+	}
+	up, err := cc.PrepareUpdate(&core.Object{ID: "o", Owner: "eve", Text: "secret"}, dataKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Update("locked", up); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("update deny: err = %v", err)
+	}
+	if err := conn.Remove("locked", "o"); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("remove deny: err = %v", err)
+	}
+	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "secret"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Search("locked", q); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("search deny: err = %v", err)
+	}
+	if _, _, err := conn.Get("locked", "o"); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("get deny: err = %v", err)
+	}
+
+	if got := reg.Counter("server_authz_denials_total").Value(); got != 6 {
+		t.Errorf("authz denials = %d, want 6", got)
+	}
+	for _, kind := range []string{wire.KindCreateRepo, wire.KindTrain, wire.KindUpdate, wire.KindRemove, wire.KindSearch, wire.KindGet} {
+		if got := reg.Counter(obs.L("server_request_errors_total", "kind", kind)).Value(); got != 1 {
+			t.Errorf("error counter for %s = %d, want 1", kind, got)
+		}
+	}
+}
+
+func TestUnknownKindErrorResponseBody(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := wire.WriteFrame(raw, "bogus-kind", wire.Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	env, _, err := wire.ReadFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != wire.KindError {
+		t.Fatalf("kind = %s, want %s", env.Kind, wire.KindError)
+	}
+	var ack wire.Ack
+	if err := env.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ack.Err, "unknown kind: bogus-kind") {
+		t.Errorf("error body = %q", ack.Err)
+	}
+	if got := reg.Counter(obs.L("server_request_errors_total", "kind", "bogus-kind")).Value(); got != 1 {
+		t.Errorf("unknown-kind error counter = %d, want 1", got)
+	}
+	// The connection stays usable after an unknown kind (one error response,
+	// no abort).
+	if _, err := wire.WriteFrame(raw, wire.KindTrain, wire.TrainReq{RepoID: "missing"}); err != nil {
+		t.Fatal(err)
+	}
+	if env, _, err = wire.ReadFrame(raw); err != nil || env.Kind != wire.KindAck {
+		t.Errorf("follow-up request after unknown kind: env=%v err=%v", env, err)
+	}
+}
+
+func TestMalformedFramesCountedDistinctly(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// Garbage bytes behind a valid length prefix: gob decode fails.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Error("expected connection close after garbage frame")
+	}
+
+	// Oversized length prefix is also malformed, not a read error.
+	raw2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw2.Close()
+	if _, err := raw2.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw2.Read(make([]byte, 1)); err == nil {
+		t.Error("expected connection close after oversized frame")
+	}
+
+	// A clean disconnect must not move either abort counter.
+	raw3, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = raw3.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("server_malformed_frames_total").Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("server_malformed_frames_total").Value(); got != 2 {
+		t.Errorf("malformed frames = %d, want 2", got)
+	}
+	if got := reg.Counter("server_read_errors_total").Value(); got != 0 {
+		t.Errorf("read errors = %d, want 0 (malformed and EOF are not read errors)", got)
+	}
+}
+
+// flakyListener fails Accept a fixed number of times, then hands out queued
+// connections, then blocks until closed — the EMFILE-under-load shape.
+type flakyListener struct {
+	mu     sync.Mutex
+	fails  int
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.fails > 0 {
+		l.fails--
+		l.mu.Unlock()
+		return nil, errors.New("accept tcp: too many open files")
+	}
+	l.mu.Unlock()
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *flakyListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)} }
+
+func TestAcceptLoopRetriesTransientErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	fl := &flakyListener{fails: 3, conns: make(chan net.Conn, 1), closed: make(chan struct{})}
+	s := &Server{
+		svc:    core.NewService(),
+		logger: obs.Nop(),
+		reg:    reg,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	s.initMetrics()
+	s.listener = fl
+	s.wg.Add(1)
+	go s.acceptLoop()
+
+	// The loop must survive the transient errors and still serve the
+	// connection queued behind them.
+	srvEnd, cliEnd := net.Pipe()
+	fl.conns <- srvEnd
+	done := make(chan error, 1)
+	go func() {
+		if _, err := wire.WriteFrame(cliEnd, wire.KindTrain, wire.TrainReq{RepoID: "missing"}); err != nil {
+			done <- err
+			return
+		}
+		env, _, err := wire.ReadFrame(cliEnd)
+		if err == nil && env.Kind != wire.KindAck {
+			err = fmt.Errorf("kind = %s, want ack", env.Kind)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("round trip after accept errors: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept loop never served the connection: it likely exited on a transient error")
+	}
+	if got := reg.Counter("server_accept_errors_total").Value(); got != 3 {
+		t.Errorf("accept errors = %d, want 3", got)
+	}
+	_ = cliEnd.Close()
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestMetricsEndpointReflectsSearchRoundTrip(t *testing.T) {
+	// The acceptance-criteria flow: a served Update+Train+Search sequence
+	// must be visible on /metrics — per-kind request counters, latency
+	// histogram counts and train/index/search phase timings. The server and
+	// engine record into the process-wide default registry, which is what
+	// mie-server's -debug-addr endpoint exposes.
+	srv := startServer(t)
+	dbg, err := obs.ServeDebug("127.0.0.1:0", obs.Default(), obs.Nop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dbg.Close() })
+
+	conn := dial(t, srv, nil)
+	cc := newCoreClient(t, nil)
+	if err := conn.CreateRepository("metrics-e2e", smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		obj := &core.Object{
+			ID:    fmt.Sprintf("m-%d", i),
+			Owner: "alice",
+			Text:  "observable beach sunset",
+			Image: classImage(0, int64(i)),
+		}
+		up, err := cc.PrepareUpdate(obj, dataKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Update("metrics-e2e", up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := conn.Train("metrics-e2e"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "beach sunset"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Search("metrics-e2e", q); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + dbg.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, name := range []string{
+		"server_requests_total{kind=search}",
+		"server_requests_total{kind=update}",
+		"server_requests_total{kind=train}",
+		"server_request_seconds_count{kind=search}",
+		"server_rx_bytes_total",
+		"server_tx_bytes_total",
+		"phase_seconds_count{phase=rpc/search/decode}",
+		"phase_seconds_count{phase=rpc/search/engine}",
+		"phase_seconds_count{phase=repo/train}",
+		"phase_seconds_count{phase=repo/train/build_indexes}",
+		"phase_seconds_count{phase=repo/search}",
+		"phase_seconds_count{phase=repo/search/fusion}",
+		"phase_seconds_count{phase=repo/update}",
+		"repo_objects{repo=metrics-e2e}",
+	} {
+		if v := metricValue(body, name); v <= 0 {
+			t.Errorf("metric %s = %v, want > 0", name, v)
+		}
+	}
+	// No request failed in this flow.
+	if v := metricValue(body, "server_request_errors_total{kind=search}"); v > 0 {
+		t.Errorf("search errors = %v, want 0", v)
+	}
+}

@@ -3,17 +3,24 @@
 // Figure 1. Each accepted connection is served by its own goroutine; the
 // underlying engine is already safe for the concurrent multi-user access
 // the system model requires.
+//
+// The server is fully instrumented: per-kind request/error counters, an
+// in-flight gauge, wire-level byte counters, per-kind latency histograms and
+// rpc/<kind>/<phase> spans (decode -> authorize -> engine -> reply) all land
+// in an obs.Registry, so the cloud half of the paper's latency breakdowns is
+// observable on live traffic via the -debug-addr endpoint.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
+	"time"
 
 	"mie/internal/core"
+	"mie/internal/obs"
 	"mie/internal/wire"
 )
 
@@ -31,35 +38,71 @@ func WithAuthorizer(a Authorizer) Option {
 	return func(s *Server) { s.authorize = a }
 }
 
+// WithObservability records the server's metrics into reg instead of the
+// process-wide obs.Default() registry.
+func WithObservability(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// Accept-retry backoff bounds: transient Accept errors (e.g. EMFILE when the
+// process runs out of file descriptors under load) must not kill the accept
+// loop; they are retried with capped exponential backoff.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
+// serverMetrics caches the hot metric handles so the per-request path does
+// only atomic increments, no registry lookups.
+type serverMetrics struct {
+	acceptErrors *obs.Counter
+	connsOpened  *obs.Counter
+	connsActive  *obs.Gauge
+	inflight     *obs.Gauge
+	rxBytes      *obs.Counter
+	txBytes      *obs.Counter
+	malformed    *obs.Counter
+	readErrors   *obs.Counter
+}
+
 // Server hosts a core.Service on a TCP listener.
 type Server struct {
 	svc       *core.Service
 	listener  net.Listener
-	logger    *log.Logger
+	logger    *obs.Logger
 	authorize Authorizer
+	reg       *obs.Registry
+	met       serverMetrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	done   chan struct{}
 	wg     sync.WaitGroup
 }
 
-// New starts a server listening on addr (e.g. "127.0.0.1:0").
-func New(addr string, svc *core.Service, logger *log.Logger, opts ...Option) (*Server, error) {
+// New starts a server listening on addr (e.g. "127.0.0.1:0"). A nil logger
+// discards logs.
+func New(addr string, svc *core.Service, logger *obs.Logger, opts ...Option) (*Server, error) {
 	if svc == nil {
 		return nil, errors.New("server: nil service")
 	}
 	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+		logger = obs.Nop()
 	}
 	s := &Server{
 		svc:    svc,
 		logger: logger,
 		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.reg == nil {
+		s.reg = obs.Default()
+	}
+	s.initMetrics()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
@@ -68,6 +111,19 @@ func New(addr string, svc *core.Service, logger *log.Logger, opts ...Option) (*S
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+func (s *Server) initMetrics() {
+	s.met = serverMetrics{
+		acceptErrors: s.reg.Counter("server_accept_errors_total"),
+		connsOpened:  s.reg.Counter("server_connections_total"),
+		connsActive:  s.reg.Gauge("server_connections_active"),
+		inflight:     s.reg.Gauge("server_inflight_requests"),
+		rxBytes:      s.reg.Counter("server_rx_bytes_total"),
+		txBytes:      s.reg.Counter("server_tx_bytes_total"),
+		malformed:    s.reg.Counter("server_malformed_frames_total"),
+		readErrors:   s.reg.Counter("server_read_errors_total"),
+	}
 }
 
 // Addr returns the bound listen address.
@@ -82,6 +138,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.done)
 	err := s.listener.Close()
 	for c := range s.conns {
 		_ = c.Close() // best-effort shutdown; handler goroutines report their own errors
@@ -91,13 +148,39 @@ func (s *Server) Close() error {
 	return err
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// acceptLoop accepts connections until the listener is closed. Transient
+// Accept errors (EMFILE and friends) are retried with capped exponential
+// backoff rather than killing the server, and counted as accept_errors.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
-			return // listener closed
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.met.acceptErrors.Inc()
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			s.logger.Warn("accept failed; retrying", "err", err, "backoff", backoff)
+			select {
+			case <-time.After(backoff):
+			case <-s.done:
+				return
+			}
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -113,151 +196,232 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.met.connsOpened.Inc()
+	s.met.connsActive.Add(1)
 	defer func() {
+		s.met.connsActive.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close() // double-close on shutdown path is harmless
 	}()
+	remote := conn.RemoteAddr().String()
 	for {
-		env, _, err := wire.ReadFrame(conn)
+		env, n, err := wire.ReadFrame(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				s.logger.Printf("server: read from %s: %v", conn.RemoteAddr(), err)
+			// Classify the abort: a clean disconnect is business as usual, a
+			// malformed frame means a corrupt or hostile peer, anything else
+			// is a transport failure. Each gets its own counter and level.
+			switch {
+			case errors.Is(err, io.EOF):
+				s.logger.Debug("client disconnected", "remote", remote)
+			case wire.IsMalformed(err):
+				s.met.malformed.Inc()
+				s.logger.Warn("malformed frame; dropping connection", "remote", remote, "err", err)
+			case s.isClosed() || errors.Is(err, net.ErrClosed):
+				s.logger.Debug("connection closed during shutdown", "remote", remote)
+			default:
+				s.met.readErrors.Inc()
+				s.logger.Info("read failed", "remote", remote, "err", err)
 			}
 			return
 		}
+		s.met.rxBytes.Add(int64(n))
 		if err := s.dispatch(conn, env); err != nil {
-			s.logger.Printf("server: reply to %s: %v", conn.RemoteAddr(), err)
+			s.logger.Info("reply failed", "remote", remote, "err", err)
 			return
 		}
 	}
 }
 
-// dispatch handles one request and writes exactly one response frame.
+// dispatch handles one request and writes exactly one response frame. Every
+// request is counted, timed per kind, and decomposed into
+// decode -> authorize -> engine -> reply phase spans.
 func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
-	switch env.Kind {
+	kind := env.Kind
+	s.reg.Counter(obs.L("server_requests_total", "kind", kind)).Inc()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	sp := obs.StartSpan(s.reg, "rpc/"+kind)
+	defer func() {
+		s.reg.Histogram(obs.L("server_request_seconds", "kind", kind)).Observe(sp.End().Seconds())
+	}()
+
+	switch kind {
 	case wire.KindCreateRepo:
 		var req wire.CreateRepoReq
-		if err := env.Decode(&req); err != nil {
-			return s.writeAck(conn, err)
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
-		if err := s.allowed(req.RepoID, env.Auth); err != nil {
-			return s.writeAck(conn, err)
+		if err == nil {
+			sp.Time("engine", func() {
+				_, err = s.svc.CreateRepository(req.RepoID, req.Opts.ToCore())
+			})
 		}
-		_, err := s.svc.CreateRepository(req.RepoID, req.Opts.ToCore())
-		return s.writeAck(conn, err)
+		return s.writeAck(sp, kind, conn, err)
 
 	case wire.KindTrain:
 		var req wire.TrainReq
-		if err := env.Decode(&req); err != nil {
-			return s.writeAck(conn, err)
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
-		if err := s.allowed(req.RepoID, env.Auth); err != nil {
-			return s.writeAck(conn, err)
+		if err == nil {
+			sp.Time("engine", func() {
+				var repo *core.Repository
+				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+					err = repo.Train()
+				}
+			})
 		}
-		repo, err := s.svc.Repository(req.RepoID)
-		if err != nil {
-			return s.writeAck(conn, err)
-		}
-		return s.writeAck(conn, repo.Train())
+		return s.writeAck(sp, kind, conn, err)
 
 	case wire.KindUpdate:
 		var req wire.UpdateReq
-		if err := env.Decode(&req); err != nil {
-			return s.writeAck(conn, err)
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
-		if err := s.allowed(req.RepoID, env.Auth); err != nil {
-			return s.writeAck(conn, err)
+		if err == nil {
+			sp.Time("engine", func() {
+				var repo *core.Repository
+				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+					err = repo.Update(&req.Update)
+				}
+			})
 		}
-		repo, err := s.svc.Repository(req.RepoID)
-		if err != nil {
-			return s.writeAck(conn, err)
-		}
-		return s.writeAck(conn, repo.Update(&req.Update))
+		return s.writeAck(sp, kind, conn, err)
 
 	case wire.KindRemove:
 		var req wire.RemoveReq
-		if err := env.Decode(&req); err != nil {
-			return s.writeAck(conn, err)
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
-		if err := s.allowed(req.RepoID, env.Auth); err != nil {
-			return s.writeAck(conn, err)
+		if err == nil {
+			sp.Time("engine", func() {
+				var repo *core.Repository
+				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+					repo.Remove(req.ObjectID)
+				}
+			})
 		}
-		repo, err := s.svc.Repository(req.RepoID)
-		if err != nil {
-			return s.writeAck(conn, err)
-		}
-		repo.Remove(req.ObjectID)
-		return s.writeAck(conn, nil)
+		return s.writeAck(sp, kind, conn, err)
 
 	case wire.KindSearch:
 		var req wire.SearchReq
-		if err := env.Decode(&req); err != nil {
-			return s.writeSearchResp(conn, nil, err)
+		var hits []core.SearchHit
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
-		if err := s.allowed(req.RepoID, env.Auth); err != nil {
-			return s.writeSearchResp(conn, nil, err)
+		if err == nil {
+			sp.Time("engine", func() {
+				var repo *core.Repository
+				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+					hits, err = repo.Search(&req.Query)
+				}
+			})
 		}
-		repo, err := s.svc.Repository(req.RepoID)
-		if err != nil {
-			return s.writeSearchResp(conn, nil, err)
-		}
-		hits, err := repo.Search(&req.Query)
-		return s.writeSearchResp(conn, hits, err)
+		return s.writeSearchResp(sp, kind, conn, hits, err)
 
 	case wire.KindGet:
 		var req wire.GetReq
-		if err := env.Decode(&req); err != nil {
-			return s.writeGetResp(conn, nil, "", err)
+		var ct []byte
+		var owner string
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
-		if err := s.allowed(req.RepoID, env.Auth); err != nil {
-			return s.writeGetResp(conn, nil, "", err)
+		if err == nil {
+			sp.Time("engine", func() {
+				var repo *core.Repository
+				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+					ct, owner, err = repo.Get(req.ObjectID)
+				}
+			})
 		}
-		repo, err := s.svc.Repository(req.RepoID)
-		if err != nil {
-			return s.writeGetResp(conn, nil, "", err)
-		}
-		ct, owner, err := repo.Get(req.ObjectID)
-		return s.writeGetResp(conn, ct, owner, err)
+		return s.writeGetResp(sp, kind, conn, ct, owner, err)
 
 	default:
-		_, err := wire.WriteFrame(conn, wire.KindError, wire.Ack{Err: "unknown kind: " + env.Kind})
+		s.countOpError(kind, errors.New("unknown kind"))
+		rsp := sp.Child("reply")
+		n, err := wire.WriteFrame(conn, wire.KindError, wire.Ack{Err: "unknown kind: " + kind})
+		s.met.txBytes.Add(int64(n))
+		rsp.End()
 		return err
 	}
 }
 
-// allowed consults the authorizer, if any.
-func (s *Server) allowed(repoID, token string) error {
+// decode unpacks the request payload under a decode phase span.
+func (s *Server) decode(sp *obs.Span, env *wire.Envelope, v interface{}) error {
+	dsp := sp.Child("decode")
+	err := env.Decode(v)
+	dsp.End()
+	return err
+}
+
+// authorized consults the authorizer, if any, under an authorize phase span.
+func (s *Server) authorized(sp *obs.Span, repoID, token string) error {
 	if s.authorize == nil {
 		return nil
 	}
-	return s.authorize(repoID, token)
+	asp := sp.Child("authorize")
+	err := s.authorize(repoID, token)
+	asp.End()
+	if err != nil {
+		s.reg.Counter("server_authz_denials_total").Inc()
+		s.logger.Debug("authorization denied", "repo", repoID, "err", err)
+	}
+	return err
 }
 
-func (s *Server) writeAck(conn net.Conn, err error) error {
+// countOpError accounts a failed request (the response still carries the
+// error to the client; this is the server-side tally).
+func (s *Server) countOpError(kind string, err error) {
+	if err == nil {
+		return
+	}
+	s.reg.Counter(obs.L("server_request_errors_total", "kind", kind)).Inc()
+	s.logger.Debug("request failed", "kind", kind, "err", err)
+}
+
+func (s *Server) writeAck(sp *obs.Span, kind string, conn net.Conn, err error) error {
+	s.countOpError(kind, err)
+	rsp := sp.Child("reply")
+	defer rsp.End()
 	ack := wire.Ack{}
 	if err != nil {
 		ack.Err = err.Error()
 	}
-	_, werr := wire.WriteFrame(conn, wire.KindAck, ack)
+	n, werr := wire.WriteFrame(conn, wire.KindAck, ack)
+	s.met.txBytes.Add(int64(n))
 	return werr
 }
 
-func (s *Server) writeSearchResp(conn net.Conn, hits []core.SearchHit, err error) error {
+func (s *Server) writeSearchResp(sp *obs.Span, kind string, conn net.Conn, hits []core.SearchHit, err error) error {
+	s.countOpError(kind, err)
+	rsp := sp.Child("reply")
+	defer rsp.End()
 	resp := wire.SearchResp{Hits: hits}
 	if err != nil {
 		resp.Err = err.Error()
 	}
-	_, werr := wire.WriteFrame(conn, wire.KindSearchResp, resp)
+	n, werr := wire.WriteFrame(conn, wire.KindSearchResp, resp)
+	s.met.txBytes.Add(int64(n))
 	return werr
 }
 
-func (s *Server) writeGetResp(conn net.Conn, ct []byte, owner string, err error) error {
+func (s *Server) writeGetResp(sp *obs.Span, kind string, conn net.Conn, ct []byte, owner string, err error) error {
+	s.countOpError(kind, err)
+	rsp := sp.Child("reply")
+	defer rsp.End()
 	resp := wire.GetResp{Ciphertext: ct, Owner: owner}
 	if err != nil {
 		resp.Err = err.Error()
 	}
-	_, werr := wire.WriteFrame(conn, wire.KindGetResp, resp)
+	n, werr := wire.WriteFrame(conn, wire.KindGetResp, resp)
+	s.met.txBytes.Add(int64(n))
 	return werr
 }

@@ -24,7 +24,18 @@ const MaxFrameSize = 256 << 20
 var (
 	// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrMalformed is wrapped around envelope decode failures: bytes arrived
+	// but are not a valid frame. Distinguishes a corrupt or hostile peer from
+	// a clean disconnect (io.EOF) or a transport failure.
+	ErrMalformed = errors.New("wire: malformed frame")
 )
+
+// IsMalformed reports whether err indicates a peer speaking the protocol
+// incorrectly (oversized or undecodable frames) rather than a transport
+// error or clean shutdown.
+func IsMalformed(err error) bool {
+	return errors.Is(err, ErrMalformed) || errors.Is(err, ErrFrameTooLarge)
+}
 
 // Message kinds.
 const (
@@ -180,7 +191,7 @@ func ReadFrame(r io.Reader) (*Envelope, int, error) {
 	}
 	var env Envelope
 	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&env); err != nil {
-		return nil, 0, fmt.Errorf("wire: decode envelope: %w", err)
+		return nil, 0, fmt.Errorf("%w: decode envelope: %v", ErrMalformed, err)
 	}
 	return &env, 4 + int(size), nil
 }

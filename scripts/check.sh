@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, vet, build, and the full test suite under the
+# race detector (the concurrent metrics registry and server counters must be
+# race-clean). Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+echo "check.sh: all gates passed"
