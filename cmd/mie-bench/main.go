@@ -32,12 +32,20 @@ import (
 
 func main() {
 	scale := flag.String("scale", "default", "workload scale: quick, default, paper-sample, or paper")
-	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig2, fig3, fig4, fig5, fig6, table3, attack, ablations")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig2, fig3, fig4, fig5, fig6, table3, attack, ablations, none")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "write the metrics registry snapshot as JSON to this file (empty = skip)")
+	parallel := flag.Int("parallel", 0, "run the concurrent-search benchmark with up to N search clients (0 = skip)")
+	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "write the concurrent-search report as JSON to this file")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-bench:", err)
 		os.Exit(1)
+	}
+	if *parallel > 0 {
+		if err := runConcurrency(*scale, *parallel, *concOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
 	}
 	if *obsOut != "" {
 		if err := writeObsSnapshot(*obsOut, *scale, *experiment); err != nil {
@@ -45,6 +53,42 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runConcurrency drives the concurrent-search benchmark at the canonical
+// client levels {1, 4, 16} capped at n (n itself is always included), prints
+// the report and writes it as JSON.
+func runConcurrency(scale string, n int, outPath string) error {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return err
+	}
+	var levels []int
+	for _, l := range []int{1, 4, 16} {
+		if l <= n {
+			levels = append(levels, l)
+		}
+	}
+	if len(levels) == 0 || levels[len(levels)-1] != n {
+		levels = append(levels, n)
+	}
+	report, err := experiments.ConcurrencyExperiment(cfg, levels)
+	if err != nil {
+		return fmt.Errorf("concurrency: %w", err)
+	}
+	experiments.WriteConcurrencyReport(os.Stdout, report)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal concurrency report: %w", err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write concurrency report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "concurrency report written to %s\n", outPath)
+	return nil
 }
 
 // obsReport is the BENCH_obs.json document: run parameters plus the full
@@ -68,19 +112,29 @@ func writeObsSnapshot(path, scale, experiment string) error {
 	return nil
 }
 
-func run(scale, experiment string) error {
-	var cfg experiments.Config
+// configFor maps a -scale value to its experiment configuration.
+func configFor(scale string) (experiments.Config, error) {
 	switch scale {
 	case "quick":
-		cfg = experiments.Quick()
+		return experiments.Quick(), nil
 	case "default":
-		cfg = experiments.Default()
+		return experiments.Default(), nil
 	case "paper":
-		cfg = experiments.PaperScale()
+		return experiments.PaperScale(), nil
 	case "paper-sample":
-		cfg = experiments.PaperSample()
+		return experiments.PaperSample(), nil
 	default:
-		return fmt.Errorf("unknown scale %q", scale)
+		return experiments.Config{}, fmt.Errorf("unknown scale %q", scale)
+	}
+}
+
+func run(scale, experiment string) error {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return err
+	}
+	if experiment == "none" {
+		return nil // e.g. -parallel alone
 	}
 	want := func(name string) bool {
 		return experiment == "all" || strings.EqualFold(experiment, name)

@@ -3,15 +3,18 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"mie/internal/cluster"
 	"mie/internal/dpe"
 	"mie/internal/fusion"
 	"mie/internal/index"
 	"mie/internal/obs"
+	"mie/internal/store"
 	"mie/internal/vec"
 )
 
@@ -66,6 +69,9 @@ type RepositoryOptions struct {
 	// FusionCandidates is the per-modality candidate depth fed to rank
 	// fusion before truncating to k; 0 means 10*k.
 	FusionCandidates int
+	// StoreShards is the shard count of the object store; 0 means
+	// store.DefaultShards.
+	StoreShards int
 }
 
 func (o *RepositoryOptions) setDefaults() {
@@ -96,7 +102,9 @@ type SearchHit struct {
 	Ciphertext []byte
 }
 
-// storedObject is the server-side record of one data object.
+// storedObject is the server-side record of one data object. It is
+// immutable once stored: Update replaces the whole record, so readers may
+// hold one without locking.
 type storedObject struct {
 	owner      string
 	ciphertext []byte
@@ -105,26 +113,89 @@ type storedObject struct {
 	audioEncs  []vec.BitVec
 }
 
+// repoState is one epoch of derived state: the engine set (codebooks
+// included) and the per-engine inverted indexes built by the last Train.
+// States are immutable; Train builds the next one off-lock and installs it
+// with a single atomic pointer swap, so readers never block on training.
+type repoState struct {
+	epoch   uint64
+	trained bool
+	// engines is the per-modality retrieval logic, in fusion order
+	// (text, image, audio).
+	engines []ModalityEngine
+	// indexes is parallel to engines; nil before the first Train.
+	indexes []*index.Inverted
+	// spillDirs is parallel to indexes: the per-epoch spill directory of
+	// each index ("" when spilling is off), removed when the epoch retires.
+	spillDirs []string
+}
+
+// changeRec is one generation-stamped entry of the train-time changelog.
+type changeRec struct {
+	// epoch stamps the generation the change was applied under.
+	epoch  uint64
+	remove bool
+	id     string
+	obj    *storedObject // nil for removes
+}
+
+// changelog captures writes that land while a Train is building the next
+// epoch off-lock; they are replayed against the fresh indexes just before
+// the swap so the new epoch reflects every write the old one served.
+type changelog struct {
+	epoch uint64 // the epoch being built
+	recs  []changeRec
+}
+
 // Repository is the untrusted server-side engine for one shared repository:
 // it stores ciphertexts and DPE encodings, trains the visual-word codebook,
 // maintains one inverted index per modality, and answers ranked multimodal
 // queries. All methods are safe for concurrent use by multiple users, which
 // is the multi-writer capability Figure 4 exercises.
+//
+// The engine is layered: a sharded object store (internal/store) underneath,
+// one ModalityEngine per media type above it, and an epoch-swapped index set
+// on top. Reads (Get/Search) take no repository-wide lock — they load the
+// current epoch atomically and go through the store's shard locks only.
+// Train never blocks them: it snapshots the store, builds codebooks and
+// fresh indexes off-lock, replays the concurrent-write changelog, and swaps
+// the new epoch in atomically.
 type Repository struct {
 	id   string
 	opts RepositoryOptions
 	met  *repoMetrics
+	leak *Leakage
 
-	mu         sync.RWMutex
-	objects    map[string]*storedObject
-	trained    bool
-	vocab      *cluster.Vocabulary[vec.BitVec]
-	audioVocab *cluster.Vocabulary[vec.BitVec]
-	textIdx    *index.Inverted
-	imgIdx     *index.Inverted
-	audioIdx   *index.Inverted
-	leak       *Leakage
+	// objects is the storage layer: ciphertext + encodings per object id.
+	objects store.Store[*storedObject]
+
+	// state is the current epoch (engines + indexes); swapped by Train.
+	state atomic.Pointer[repoState]
+
+	// writeMu serializes mutators (Update/Remove), index maintenance and
+	// epoch installs with each other. Readers never take it.
+	writeMu sync.Mutex
+	// changelog is non-nil while a Train is in flight (guarded by writeMu).
+	changelog *changelog
+	// trainMu serializes Train calls; searches and writes proceed under it.
+	trainMu sync.Mutex
 }
+
+// Test hooks (nil outside tests): updateIndexHook injects an index failure
+// for one modality inside Update's index step, so the rollback path is
+// testable; trainInstallHook runs off-lock after the next epoch's indexes
+// are built, just before the install, so tests can hold a Train in flight
+// deterministically.
+var (
+	updateIndexHook  func(Modality) error
+	trainInstallHook func()
+)
+
+// SetTrainInstallHookForTest installs (or, with nil, clears) the off-lock
+// pre-install training hook. Test support for packages outside core — e.g.
+// the server tests hold a Train RPC in flight with it to prove searches
+// keep being served over the wire. Never set in production code.
+func SetTrainInstallHookForTest(f func()) { trainInstallHook = f }
 
 // NewRepository creates the server-side representation of a repository
 // (CLOUD.CreateRepository of Algorithm 5).
@@ -137,9 +208,10 @@ func NewRepository(id string, opts RepositoryOptions) (*Repository, error) {
 		id:      id,
 		opts:    opts,
 		met:     newRepoMetrics(obs.Default(), id),
-		objects: make(map[string]*storedObject),
+		objects: store.New[*storedObject](opts.StoreShards),
 		leak:    newLeakage(),
 	}
+	r.state.Store(&repoState{engines: newEngines(opts)})
 	return r, nil
 }
 
@@ -151,54 +223,39 @@ func (r *Repository) ID() string { return r.id }
 func (r *Repository) Leakage() *Leakage { return r.leak }
 
 // Size returns the number of stored objects.
-func (r *Repository) Size() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.objects)
-}
+func (r *Repository) Size() int { return r.objects.Len() }
 
 // IsTrained reports whether Train has completed.
-func (r *Repository) IsTrained() bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.trained
-}
+func (r *Repository) IsTrained() bool { return r.state.Load().trained }
 
 // VocabularySize returns the number of visual words after training (0
 // before).
-func (r *Repository) VocabularySize() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.vocab == nil {
-		return 0
-	}
-	return r.vocab.Size()
-}
+func (r *Repository) VocabularySize() int { return r.codebookSize(ModalityImage) }
 
 // AudioVocabularySize returns the number of audio words after training.
-func (r *Repository) AudioVocabularySize() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.audioVocab == nil {
-		return 0
+func (r *Repository) AudioVocabularySize() int { return r.codebookSize(ModalityAudio) }
+
+func (r *Repository) codebookSize(m Modality) int {
+	for _, eng := range r.state.Load().engines {
+		if eng.Modality() == m {
+			return eng.CodebookSize()
+		}
 	}
-	return r.audioVocab.Size()
+	return 0
 }
 
 // Update stores (or replaces) an encrypted object and its encodings
 // (CLOUD.Update, Algorithm 7). If the repository is trained the object is
-// indexed immediately; otherwise indexing happens at Train time.
+// indexed immediately; otherwise indexing happens at Train time. Update is
+// atomic: either the object is stored and fully indexed across every
+// modality, or (on an index error) the previous state — prior object and
+// postings, or absence — is restored and the error returned.
 func (r *Repository) Update(up *Update) error {
 	if up.ObjectID == "" {
 		return errors.New("core: update needs an object id")
 	}
 	sp := obs.StartSpan(r.met.reg, "repo/update")
 	defer sp.End()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, exists := r.objects[up.ObjectID]; exists {
-		r.removeLocked(up.ObjectID)
-	}
 	obj := &storedObject{
 		owner:      up.Owner,
 		ciphertext: up.Ciphertext,
@@ -206,14 +263,73 @@ func (r *Repository) Update(up *Update) error {
 		imageEncs:  up.ImageEncodings,
 		audioEncs:  up.AudioEncodings,
 	}
-	r.objects[up.ObjectID] = obj
-	r.met.objects.Set(int64(len(r.objects)))
-	r.leak.recordUpdate(up)
-	if r.trained {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	st := r.state.Load()
+	doc := index.DocID(up.ObjectID)
+	prev, replaced := r.objects.Put(up.ObjectID, obj)
+	if replaced {
+		for _, idx := range st.indexes {
+			if idx != nil {
+				idx.Remove(doc)
+			}
+		}
+	}
+	if st.trained {
 		isp := sp.Child("index")
-		err := r.indexLocked(up.ObjectID, obj)
+		err := indexObject(st, up.ObjectID, obj)
 		isp.End()
-		return err
+		if err != nil {
+			// Roll back: indexObject already unwound its partial postings;
+			// restore the previous object and its postings, or erase the
+			// insert entirely, so no stored-but-partially-indexed object
+			// survives.
+			if replaced {
+				r.objects.Put(up.ObjectID, prev)
+				_ = indexObject(st, up.ObjectID, prev) // best-effort reinstate
+			} else {
+				r.objects.Delete(up.ObjectID)
+			}
+			return err
+		}
+	}
+	if cl := r.changelog; cl != nil {
+		cl.recs = append(cl.recs, changeRec{epoch: st.epoch, id: up.ObjectID, obj: obj})
+	}
+	r.met.objects.Set(int64(r.objects.Len()))
+	r.leak.recordUpdate(up)
+	return nil
+}
+
+// indexObject inserts one object into the epoch's per-modality indexes.
+// On failure it unwinds the postings already added for earlier modalities,
+// so a partially indexed object never escapes.
+func indexObject(st *repoState, id string, obj *storedObject) error {
+	doc := index.DocID(id)
+	for i, eng := range st.engines {
+		idx := st.indexes[i]
+		if idx == nil {
+			continue
+		}
+		terms := eng.ExtractTerms(obj)
+		if len(terms) == 0 {
+			continue
+		}
+		var err error
+		if updateIndexHook != nil {
+			err = updateIndexHook(eng.Modality())
+		}
+		if err == nil {
+			err = idx.Add(doc, terms)
+		}
+		if err != nil {
+			for j := 0; j < i; j++ {
+				if st.indexes[j] != nil {
+					st.indexes[j].Remove(doc)
+				}
+			}
+			return err
+		}
 	}
 	return nil
 }
@@ -221,35 +337,28 @@ func (r *Repository) Update(up *Update) error {
 // Remove deletes an object and its index entries (CLOUD.Remove,
 // Algorithm 8). Unknown ids are a no-op.
 func (r *Repository) Remove(objectID string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.removeLocked(objectID)
-	r.met.objects.Set(int64(len(r.objects)))
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	st := r.state.Load()
+	if _, existed := r.objects.Delete(objectID); existed {
+		doc := index.DocID(objectID)
+		for _, idx := range st.indexes {
+			if idx != nil {
+				idx.Remove(doc)
+			}
+		}
+	}
+	if cl := r.changelog; cl != nil {
+		cl.recs = append(cl.recs, changeRec{epoch: st.epoch, remove: true, id: objectID})
+	}
+	r.met.objects.Set(int64(r.objects.Len()))
 	r.leak.recordRemove(objectID)
 }
 
-func (r *Repository) removeLocked(objectID string) {
-	if _, ok := r.objects[objectID]; !ok {
-		return
-	}
-	delete(r.objects, objectID)
-	if r.textIdx != nil {
-		r.textIdx.Remove(index.DocID(objectID))
-	}
-	if r.imgIdx != nil {
-		r.imgIdx.Remove(index.DocID(objectID))
-	}
-	if r.audioIdx != nil {
-		r.audioIdx.Remove(index.DocID(objectID))
-	}
-}
-
 // Get returns the stored ciphertext and owner of an object (the read path
-// of the system model).
+// of the system model). Lock-free: it goes straight to the store.
 func (r *Repository) Get(objectID string) (ciphertext []byte, owner string, err error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	obj, ok := r.objects[objectID]
+	obj, ok := r.objects.Get(objectID)
 	if !ok {
 		return nil, "", fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
 	}
@@ -264,169 +373,218 @@ func (r *Repository) Get(objectID string) (ciphertext []byte, owner string, err 
 // and every stored object is (re)indexed. Sparse modalities need no
 // training; their index is simply (re)built. Train may be invoked again
 // later to retrain with different parameters.
+//
+// Train never blocks readers or writers for its duration: it opens a
+// generation-stamped changelog, snapshots the store, builds the codebooks
+// and a fresh index set entirely off-lock, then replays the changelog and
+// installs the new epoch with one atomic swap. A Search issued mid-training
+// is served by the previous epoch throughout.
 func (r *Repository) Train() error {
 	sp := obs.StartSpan(r.met.reg, "repo/train")
 	defer sp.End()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.trainMu.Lock()
+	defer r.trainMu.Unlock()
 
+	// Phase 1 — open the changelog, then snapshot the store. Order matters:
+	// with the log installed first, a write racing the snapshot copy is also
+	// logged, and replay (remove-then-add) is idempotent, so nothing is
+	// lost either way.
+	r.writeMu.Lock()
+	cur := r.state.Load()
+	cl := &changelog{epoch: cur.epoch + 1}
+	r.changelog = cl
+	r.writeMu.Unlock()
+	defer func() { // retire the changelog on every exit path
+		r.writeMu.Lock()
+		r.changelog = nil
+		r.writeMu.Unlock()
+	}()
+	snap := r.objects.Items()
 	// Deterministic sample order (sorted object ids) so retraining a given
 	// repository always yields the same codebooks.
-	ids := make([]string, 0, len(r.objects))
-	for id := range r.objects {
+	ids := make([]string, 0, len(snap))
+	for id := range snap {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	sampleOf := func(pick func(*storedObject) []vec.BitVec) []vec.BitVec {
-		var sample []vec.BitVec
-		for _, id := range ids {
-			for _, e := range pick(r.objects[id]) {
-				if len(sample) >= r.opts.TrainingSampleCap {
-					return sample
-				}
-				sample = append(sample, e)
-			}
+
+	// Phase 2 — train the engines off-lock. Dense engines run k-means over
+	// up to TrainingSampleCap encodings; sparse engines and dense engines
+	// with no data yet pass through unchanged (their codebook, if any, is
+	// kept, so a later Train can pick up data that arrived since).
+	engines := make([]ModalityEngine, len(cur.engines))
+	for i, eng := range cur.engines {
+		sample := trainingSample(eng, snap, ids, r.opts.TrainingSampleCap)
+		if len(sample) == 0 {
+			engines[i] = eng
+			continue
 		}
-		return sample
-	}
-	// Training is only *required* for dense media (paper §V); with no
-	// encodings stored yet for a modality we skip its codebook and leave
-	// its index dormant — a later Train call can build it once data exists.
-	if r.hasModality(ModalityImage) {
-		if sample := sampleOf(func(o *storedObject) []vec.BitVec { return o.imageEncs }); len(sample) > 0 {
-			csp := sp.Child("image_codebook")
-			vocab, err := r.trainDenseVocab(sample)
-			csp.End()
-			if err != nil {
-				return fmt.Errorf("core: train image codebook: %w", err)
-			}
-			r.vocab = vocab
-			r.met.vocabWords.Set(int64(vocab.Size()))
+		csp := sp.Child(string(eng.Modality()) + "_codebook")
+		trained, err := eng.Train(sample)
+		csp.End()
+		if err != nil {
+			return fmt.Errorf("core: train %s codebook: %w", eng.Modality(), err)
 		}
-	}
-	if r.hasModality(ModalityAudio) {
-		if sample := sampleOf(func(o *storedObject) []vec.BitVec { return o.audioEncs }); len(sample) > 0 {
-			csp := sp.Child("audio_codebook")
-			vocab, err := r.trainDenseVocab(sample)
-			csp.End()
-			if err != nil {
-				return fmt.Errorf("core: train audio codebook: %w", err)
-			}
-			r.audioVocab = vocab
-			r.met.audioVocabWords.Set(int64(vocab.Size()))
-		}
+		engines[i] = trained
 	}
 
+	// Phase 3 — build the next epoch's indexes off-lock from the snapshot,
+	// through the bulk path.
 	bsp := sp.Child("build_indexes")
-	err := r.buildIndexesLocked()
+	indexes, spillDirs, err := r.buildIndexes(engines, cl.epoch, snap, ids)
 	bsp.End()
 	if err != nil {
 		return err
 	}
-	r.trained = true
+	if hook := trainInstallHook; hook != nil {
+		hook()
+	}
+
+	// Phase 4 — replay the writes that landed during training against the
+	// fresh indexes, then swap the epoch in. Both happen under writeMu so
+	// no write can slip between replay and install.
+	r.writeMu.Lock()
+	rsp := sp.Child("replay")
+	err = replayChangelog(engines, indexes, cl)
+	rsp.End()
+	if err != nil {
+		r.writeMu.Unlock()
+		closeIndexes(indexes, spillDirs)
+		return err
+	}
+	r.state.Store(&repoState{
+		epoch:     cl.epoch,
+		trained:   true,
+		engines:   engines,
+		indexes:   indexes,
+		spillDirs: spillDirs,
+	})
+	r.changelog = nil
+	// Phase 5 — retire the previous epoch's indexes: close spill logs and
+	// drop their now-unreferenced spill directories. In-flight searches
+	// that loaded the old state only read its in-memory postings, so
+	// closing the spill log under them is safe.
+	closeIndexes(cur.indexes, cur.spillDirs)
+	r.writeMu.Unlock()
+
+	for _, eng := range engines {
+		switch eng.Modality() {
+		case ModalityImage:
+			r.met.vocabWords.Set(int64(eng.CodebookSize()))
+		case ModalityAudio:
+			r.met.audioVocabWords.Set(int64(eng.CodebookSize()))
+		}
+	}
 	r.leak.recordTrain(r.id)
 	return nil
 }
 
-// trainDenseVocab runs the Hamming-space flat clustering + lookup tree for
-// one dense modality's encoding sample.
-func (r *Repository) trainDenseVocab(sample []vec.BitVec) (*cluster.Vocabulary[vec.BitVec], error) {
-	hamCluster := func(ps []vec.BitVec, k int, seed int64) ([]vec.BitVec, []int, error) {
-		res, err := cluster.HammingKMeans(ps, k, cluster.Options{Seed: seed, MaxIter: r.opts.Vocab.MaxIter})
-		if err != nil {
-			return nil, nil, err
+// trainingSample gathers up to capN encodings for one engine from the
+// snapshot, in sorted id order for determinism.
+func trainingSample(eng ModalityEngine, snap map[string]*storedObject, ids []string, capN int) []vec.BitVec {
+	var sample []vec.BitVec
+	for _, id := range ids {
+		for _, e := range eng.TrainingSample(snap[id]) {
+			if len(sample) >= capN {
+				return sample
+			}
+			sample = append(sample, e)
 		}
-		return res.Centroids, res.Assignments, nil
 	}
-	dist := func(a, b vec.BitVec) float64 { return float64(vec.Hamming(a, b)) }
-	return cluster.TrainVocabulary(sample, r.opts.Vocab, hamCluster, dist)
+	return sample
 }
 
-// buildIndexesLocked (re)creates the per-modality inverted indexes and
-// indexes every stored object; shared between Train and snapshot restore.
-func (r *Repository) buildIndexesLocked() error {
-	var err error
-	if r.hasModality(ModalityText) {
-		if r.textIdx, err = index.New(r.indexOptions("text")); err != nil {
-			return err
+// buildIndexes creates one inverted index per engine for the given epoch and
+// bulk-loads the snapshot into it. Shared between Train and snapshot
+// restore. On error, indexes already built are closed.
+func (r *Repository) buildIndexes(engines []ModalityEngine, epoch uint64, snap map[string]*storedObject, ids []string) ([]*index.Inverted, []string, error) {
+	indexes := make([]*index.Inverted, len(engines))
+	spillDirs := make([]string, len(engines))
+	fail := func(err error) ([]*index.Inverted, []string, error) {
+		closeIndexes(indexes, spillDirs)
+		return nil, nil, err
+	}
+	for i, eng := range engines {
+		opts := r.indexOptions(string(eng.Modality()), epoch)
+		idx, err := index.New(opts)
+		if err != nil {
+			return fail(err)
+		}
+		indexes[i] = idx
+		spillDirs[i] = opts.SpillDir
+		batch := make([]index.BatchDoc, 0, len(ids))
+		for _, id := range ids {
+			if terms := eng.ExtractTerms(snap[id]); len(terms) > 0 {
+				batch = append(batch, index.BatchDoc{Doc: index.DocID(id), Terms: terms})
+			}
+		}
+		if err := idx.AddBatch(batch); err != nil {
+			return fail(err)
 		}
 	}
-	if r.hasModality(ModalityImage) {
-		if r.imgIdx, err = index.New(r.indexOptions("image")); err != nil {
-			return err
+	return indexes, spillDirs, nil
+}
+
+// replayChangelog applies the writes captured during off-lock training to
+// the next epoch's indexes. Replay is idempotent (remove-then-add), so an
+// object both present in the snapshot and logged converges to its logged
+// version.
+func replayChangelog(engines []ModalityEngine, indexes []*index.Inverted, cl *changelog) error {
+	for _, rec := range cl.recs {
+		if rec.epoch >= cl.epoch {
+			// Stamped by a later generation than the one being built; can
+			// only happen if install ordering is broken — skip defensively.
+			continue
 		}
-	}
-	if r.hasModality(ModalityAudio) {
-		if r.audioIdx, err = index.New(r.indexOptions("audio")); err != nil {
-			return err
+		doc := index.DocID(rec.id)
+		for _, idx := range indexes {
+			if idx != nil {
+				idx.Remove(doc)
+			}
 		}
-	}
-	for id, obj := range r.objects {
-		if err := r.indexLocked(id, obj); err != nil {
-			return err
+		if rec.remove {
+			continue
+		}
+		for i, eng := range engines {
+			idx := indexes[i]
+			if idx == nil {
+				continue
+			}
+			terms := eng.ExtractTerms(rec.obj)
+			if len(terms) == 0 {
+				continue
+			}
+			if err := idx.Add(doc, terms); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func (r *Repository) indexOptions(modality string) index.Options {
+// closeIndexes closes an epoch's indexes and removes their per-epoch spill
+// directories (best effort).
+func closeIndexes(indexes []*index.Inverted, spillDirs []string) {
+	for i, idx := range indexes {
+		if idx == nil {
+			continue
+		}
+		_ = idx.Close()
+		if i < len(spillDirs) && spillDirs[i] != "" {
+			_ = os.RemoveAll(spillDirs[i])
+		}
+	}
+}
+
+// indexOptions derives one index's options for an epoch. The spill
+// directory is suffixed with the epoch so the next epoch's index never
+// shares a spill log with the one still serving searches.
+func (r *Repository) indexOptions(modality string, epoch uint64) index.Options {
 	opts := r.opts.Index
 	if opts.SpillDir != "" {
-		opts.SpillDir = opts.SpillDir + "/" + r.id + "-" + modality
+		opts.SpillDir = opts.SpillDir + "/" + r.id + "-" + modality + "-e" + strconv.FormatUint(epoch, 10)
 	}
 	return opts
-}
-
-func (r *Repository) hasModality(m Modality) bool {
-	for _, mm := range r.opts.Modalities {
-		if mm == m {
-			return true
-		}
-	}
-	return false
-}
-
-// indexLocked inserts one object into the per-modality indexes.
-func (r *Repository) indexLocked(id string, obj *storedObject) error {
-	doc := index.DocID(id)
-	if r.textIdx != nil && len(obj.textTokens) > 0 {
-		terms := make(map[index.Term]uint64, len(obj.textTokens))
-		for tok, freq := range obj.textTokens {
-			terms[index.Term(tok.String())] = freq
-		}
-		if err := r.textIdx.Add(doc, terms); err != nil {
-			return err
-		}
-	}
-	if r.imgIdx != nil && len(obj.imageEncs) > 0 && r.vocab != nil {
-		hist := r.vocab.QuantizeAll(obj.imageEncs)
-		terms := make(map[index.Term]uint64, len(hist))
-		for word, freq := range hist {
-			terms[visualTerm(word)] = freq
-		}
-		if err := r.imgIdx.Add(doc, terms); err != nil {
-			return err
-		}
-	}
-	if r.audioIdx != nil && len(obj.audioEncs) > 0 && r.audioVocab != nil {
-		hist := r.audioVocab.QuantizeAll(obj.audioEncs)
-		terms := make(map[index.Term]uint64, len(hist))
-		for word, freq := range hist {
-			terms[audioTerm(word)] = freq
-		}
-		if err := r.audioIdx.Add(doc, terms); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func visualTerm(word int) index.Term {
-	return index.Term("vw:" + strconv.Itoa(word))
-}
-
-func audioTerm(word int) index.Term {
-	return index.Term("aw:" + strconv.Itoa(word))
 }
 
 // Search answers a multimodal query (CLOUD.Search, Algorithm 9): per
@@ -440,44 +598,58 @@ func (r *Repository) Search(q *Query) ([]SearchHit, error) {
 // SearchWithFusion is Search with an explicit rank-fusion formula; the
 // default (and the paper's choice) is logarithmic ISR. Exposed for the
 // fusion ablation.
+//
+// The per-modality lookups fan out in parallel goroutines and join before
+// fusion, so the search phase costs max(modality lookups), not their sum;
+// the whole path is lock-free against the repository (epoch load + store
+// shard reads only) and therefore never blocks on a concurrent Train.
 func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchHit, error) {
 	if q.K <= 0 {
 		return nil, errors.New("core: query k must be positive")
 	}
 	sp := obs.StartSpan(r.met.reg, "repo/search")
 	defer sp.End()
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	st := r.state.Load()
 
 	depth := r.opts.FusionCandidates
 	if depth <= 0 {
 		depth = 10 * q.K
 	}
-	var lists [][]index.Result
-	if len(q.TextTokens) > 0 && r.hasModality(ModalityText) {
-		sp.Time("text_lookup", func() {
-			lists = append(lists, r.searchTextLocked(q, depth))
-		})
+	lists := make([][]index.Result, len(st.engines))
+	active := make([]bool, len(st.engines))
+	var wg sync.WaitGroup
+	for i, eng := range st.engines {
+		if !eng.InQuery(q) {
+			continue
+		}
+		active[i] = true
+		wg.Add(1)
+		go func(i int, eng ModalityEngine) {
+			defer wg.Done()
+			csp := sp.Child(string(eng.Modality()) + "_lookup")
+			defer csp.End()
+			lists[i] = r.searchModality(st, i, eng, q, depth)
+		}(i, eng)
 	}
-	if len(q.ImageEncodings) > 0 && r.hasModality(ModalityImage) {
-		sp.Time("image_lookup", func() {
-			lists = append(lists, r.searchImageLocked(q, depth))
-		})
-	}
-	if len(q.AudioEncodings) > 0 && r.hasModality(ModalityAudio) {
-		sp.Time("audio_lookup", func() {
-			lists = append(lists, r.searchAudioLocked(q, depth))
-		})
+	wg.Wait()
+	joined := make([][]index.Result, 0, len(lists))
+	for i, l := range lists {
+		if active[i] {
+			joined = append(joined, l)
+		}
 	}
 	fsp := sp.Child("fusion")
-	fused := fusion.Fuse(method, lists, q.K)
+	fused := fusion.Fuse(method, joined, q.K)
 	fsp.End()
 	csp := sp.Child("collect")
 	hits := make([]SearchHit, 0, len(fused))
 	for _, res := range fused {
-		obj, ok := r.objects[string(res.Doc)]
+		obj, ok := r.objects.Get(string(res.Doc))
 		if !ok {
-			continue // racing remove; the snapshot index may be slightly stale
+			// Raced a remove against a not-yet-retired index entry: the hit
+			// is dropped, and — deliberately — NOT recorded as an ID(d)
+			// access, since nothing about it is returned to the caller.
+			continue
 		}
 		r.leak.recordAccess(string(res.Doc))
 		hits = append(hits, SearchHit{
@@ -492,145 +664,46 @@ func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchH
 	return hits, nil
 }
 
-func (r *Repository) searchTextLocked(q *Query, depth int) []index.Result {
-	if r.trained && r.textIdx != nil {
-		terms := make(map[index.Term]uint64, len(q.TextTokens))
-		for tok, freq := range q.TextTokens {
-			terms[index.Term(tok.String())] = freq
-		}
-		return r.textIdx.Search(terms, depth)
+// searchModality runs one modality's lookup for the given epoch: the
+// inverted index when the epoch is trained and the engine has its codebook,
+// else the engine's linear ranked scan over the store.
+func (r *Repository) searchModality(st *repoState, i int, eng ModalityEngine, q *Query, depth int) []index.Result {
+	if st.trained && st.indexes[i] != nil && eng.Ready() {
+		return st.indexes[i].Search(eng.QueryTerms(q), depth)
 	}
-	// Linear ranked scan: token-overlap TF scoring across all objects.
-	scores := make(map[index.DocID]float64)
-	for id, obj := range r.objects {
-		var s float64
-		for tok, qf := range q.TextTokens {
-			if tf, ok := obj.textTokens[tok]; ok {
-				s += float64(qf) * float64(tf)
-			}
-		}
-		if s > 0 {
-			scores[index.DocID(id)] = s
-		}
-	}
-	return rankMap(scores, depth)
-}
-
-func (r *Repository) searchImageLocked(q *Query, depth int) []index.Result {
-	if r.trained && r.imgIdx != nil && r.vocab != nil {
-		hist := r.vocab.QuantizeAll(q.ImageEncodings)
-		terms := make(map[index.Term]uint64, len(hist))
-		for word, freq := range hist {
-			terms[visualTerm(word)] = freq
-		}
-		return r.imgIdx.Search(terms, depth)
-	}
-	// Linear ranked scan over encodings: each query encoding votes for the
-	// object holding its nearest stored encoding (by Hamming distance),
-	// weighted by similarity.
-	scores := make(map[index.DocID]float64)
-	for id, obj := range r.objects {
-		if len(obj.imageEncs) == 0 {
-			continue
-		}
-		var s float64
-		for _, qe := range q.ImageEncodings {
-			best := 1.0
-			for _, oe := range obj.imageEncs {
-				if d := vec.NormHamming(qe, oe); d < best {
-					best = d
-				}
-			}
-			s += 1 - best
-		}
-		if s > 0 {
-			scores[index.DocID(id)] = s
-		}
-	}
-	return rankMap(scores, depth)
-}
-
-func (r *Repository) searchAudioLocked(q *Query, depth int) []index.Result {
-	if r.trained && r.audioIdx != nil && r.audioVocab != nil {
-		hist := r.audioVocab.QuantizeAll(q.AudioEncodings)
-		terms := make(map[index.Term]uint64, len(hist))
-		for word, freq := range hist {
-			terms[audioTerm(word)] = freq
-		}
-		return r.audioIdx.Search(terms, depth)
-	}
-	// Linear fallback: nearest-encoding voting, as for images.
-	scores := make(map[index.DocID]float64)
-	for id, obj := range r.objects {
-		if len(obj.audioEncs) == 0 {
-			continue
-		}
-		var s float64
-		for _, qe := range q.AudioEncodings {
-			best := 1.0
-			for _, oe := range obj.audioEncs {
-				if d := vec.NormHamming(qe, oe); d < best {
-					best = d
-				}
-			}
-			s += 1 - best
-		}
-		if s > 0 {
-			scores[index.DocID(id)] = s
-		}
-	}
-	return rankMap(scores, depth)
-}
-
-func rankMap(scores map[index.DocID]float64, depth int) []index.Result {
-	out := make([]index.Result, 0, len(scores))
-	for d, s := range scores {
-		out = append(out, index.Result{Doc: d, Score: s})
-	}
-	index.SortResults(out)
-	if len(out) > depth {
-		out = out[:depth]
-	}
-	return out
+	return eng.LinearSearch(q, r.objects, depth)
 }
 
 // MergeIndexes compacts the disk-spilled portions of the per-modality
 // indexes (the background merge of §VI).
 func (r *Repository) MergeIndexes() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.textIdx != nil {
-		if err := r.textIdx.Merge(); err != nil {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	st := r.state.Load()
+	for _, idx := range st.indexes {
+		if idx == nil {
+			continue
+		}
+		if err := idx.Merge(); err != nil {
 			return err
 		}
-	}
-	if r.imgIdx != nil {
-		if err := r.imgIdx.Merge(); err != nil {
-			return err
-		}
-	}
-	if r.audioIdx != nil {
-		return r.audioIdx.Merge()
 	}
 	return nil
 }
 
 // Close releases index resources (spill logs).
 func (r *Repository) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.textIdx != nil {
-		if err := r.textIdx.Close(); err != nil {
-			return err
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	st := r.state.Load()
+	var firstErr error
+	for _, idx := range st.indexes {
+		if idx == nil {
+			continue
+		}
+		if err := idx.Close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	if r.imgIdx != nil {
-		if err := r.imgIdx.Close(); err != nil {
-			return err
-		}
-	}
-	if r.audioIdx != nil {
-		return r.audioIdx.Close()
-	}
-	return nil
+	return firstErr
 }

@@ -7,9 +7,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
-	"mie/internal/cluster"
 	"mie/internal/dpe"
 	"mie/internal/obs"
 	"mie/internal/vec"
@@ -32,6 +32,8 @@ type snapshotObject struct {
 // NOT serialized: they are derived state, rebuilt deterministically from the
 // stored encodings and vocabulary at load time — simpler, robust against
 // index format evolution, and it exercises the same code path as Train.
+// The format predates the layered engine and is kept unchanged, so
+// snapshots written by the old flat layout restore cleanly.
 type snapshot struct {
 	Magic      string
 	ID         string
@@ -43,23 +45,25 @@ type snapshot struct {
 }
 
 // Snapshot serializes the repository's durable state to w. Safe to call
-// concurrently with reads; writers are blocked for the duration.
+// concurrently with reads; writers are blocked for the duration so the
+// object set and the trained state land as one consistent cut.
 func (r *Repository) Snapshot(w io.Writer) error {
 	sp := obs.StartSpan(r.met.reg, "repo/snapshot")
 	defer sp.End()
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	st := r.state.Load()
 	snap := snapshot{
 		Magic:   snapshotMagic,
 		ID:      r.id,
 		Opts:    r.opts,
-		Trained: r.trained,
+		Trained: st.trained,
 	}
 	// Index options carry host paths that may not apply on restore; the
 	// loader re-derives them from its own options, so drop them here.
 	snap.Opts.Index.SpillDir = ""
 	snap.Opts.Index.ChampionSize = 0
-	for id, obj := range r.objects {
+	r.objects.Range(func(id string, obj *storedObject) bool {
 		snap.Objects = append(snap.Objects, snapshotObject{
 			ID:         id,
 			Owner:      obj.owner,
@@ -68,12 +72,15 @@ func (r *Repository) Snapshot(w io.Writer) error {
 			ImageEncs:  obj.imageEncs,
 			AudioEncs:  obj.audioEncs,
 		})
-	}
-	if r.vocab != nil {
-		snap.VocabWords = r.vocab.Words()
-	}
-	if r.audioVocab != nil {
-		snap.AudioWords = r.audioVocab.Words()
+		return true
+	})
+	for _, eng := range st.engines {
+		switch eng.Modality() {
+		case ModalityImage:
+			snap.VocabWords = eng.SnapshotState()
+		case ModalityAudio:
+			snap.AudioWords = eng.SnapshotState()
+		}
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("core: encode snapshot of %s: %w", r.id, err)
@@ -105,49 +112,63 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, so := range snap.Objects {
-		r.objects[so.ID] = &storedObject{
+		r.objects.Put(so.ID, &storedObject{
 			owner:      so.Owner,
 			ciphertext: so.Ciphertext,
 			textTokens: so.TextTokens,
 			imageEncs:  so.ImageEncs,
 			audioEncs:  so.AudioEncs,
-		}
+		})
 	}
-	r.met.objects.Set(int64(len(r.objects)))
+	r.met.objects.Set(int64(r.objects.Len()))
 	if !snap.Trained {
 		return r, nil
 	}
-	hamCluster := func(ps []vec.BitVec, k int, seed int64) ([]vec.BitVec, []int, error) {
-		res, err := cluster.HammingKMeans(ps, k, cluster.Options{Seed: seed, MaxIter: r.opts.Vocab.MaxIter})
-		if err != nil {
-			return nil, nil, err
+	// Restore the engines' trained state from the serialized codebooks,
+	// then rebuild the first trained epoch through the same bulk path
+	// Train uses.
+	cur := r.state.Load()
+	engines := make([]ModalityEngine, len(cur.engines))
+	for i, eng := range cur.engines {
+		var words []vec.BitVec
+		switch eng.Modality() {
+		case ModalityImage:
+			words = snap.VocabWords
+		case ModalityAudio:
+			words = snap.AudioWords
 		}
-		return res.Centroids, res.Assignments, nil
-	}
-	dist := func(a, b vec.BitVec) float64 { return float64(vec.Hamming(a, b)) }
-	if len(snap.VocabWords) > 0 {
-		vocab, err := cluster.NewVocabularyFromWords(snap.VocabWords, r.opts.Vocab.Tree, hamCluster, dist)
+		restored, err := eng.Restore(words)
 		if err != nil {
-			return nil, fmt.Errorf("core: restore vocabulary: %w", err)
+			return nil, fmt.Errorf("core: restore %s vocabulary: %w", eng.Modality(), err)
 		}
-		r.vocab = vocab
-		r.met.vocabWords.Set(int64(vocab.Size()))
+		engines[i] = restored
 	}
-	if len(snap.AudioWords) > 0 {
-		vocab, err := cluster.NewVocabularyFromWords(snap.AudioWords, r.opts.Vocab.Tree, hamCluster, dist)
-		if err != nil {
-			return nil, fmt.Errorf("core: restore audio vocabulary: %w", err)
-		}
-		r.audioVocab = vocab
-		r.met.audioVocabWords.Set(int64(vocab.Size()))
+	objs := r.objects.Items()
+	ids := make([]string, 0, len(objs))
+	for id := range objs {
+		ids = append(ids, id)
 	}
-	if err := r.buildIndexesLocked(); err != nil {
+	sort.Strings(ids)
+	indexes, spillDirs, err := r.buildIndexes(engines, cur.epoch+1, objs, ids)
+	if err != nil {
 		return nil, err
 	}
-	r.trained = true
+	r.state.Store(&repoState{
+		epoch:     cur.epoch + 1,
+		trained:   true,
+		engines:   engines,
+		indexes:   indexes,
+		spillDirs: spillDirs,
+	})
+	for _, eng := range engines {
+		switch eng.Modality() {
+		case ModalityImage:
+			r.met.vocabWords.Set(int64(eng.CodebookSize()))
+		case ModalityAudio:
+			r.met.audioVocabWords.Set(int64(eng.CodebookSize()))
+		}
+	}
 	return r, nil
 }
 

@@ -234,3 +234,29 @@ func TestAttackExperimentShape(t *testing.T) {
 		t.Error("report header missing")
 	}
 }
+
+func TestConcurrencyExperimentShape(t *testing.T) {
+	report, err := ConcurrencyExperiment(Quick(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(report.Levels))
+	}
+	for _, lv := range report.Levels {
+		if lv.Searches == 0 || lv.ThroughputQPS <= 0 {
+			t.Errorf("level %d: empty measurements: %+v", lv.Clients, lv)
+		}
+		if lv.P50Ms <= 0 || lv.P99Ms < lv.P50Ms {
+			t.Errorf("level %d: implausible percentiles: %+v", lv.Clients, lv)
+		}
+	}
+	if report.Overlap.TrainMs <= 0 {
+		t.Errorf("overlap train duration missing: %+v", report.Overlap)
+	}
+	var buf strings.Builder
+	WriteConcurrencyReport(&buf, report)
+	if !strings.Contains(buf.String(), "Concurrent search") {
+		t.Error("report header missing")
+	}
+}

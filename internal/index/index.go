@@ -136,11 +136,37 @@ func (ix *Inverted) Has(doc DocID) bool {
 // Re-adding an existing document replaces its previous postings, matching
 // the paper's Update semantics (remove then add).
 func (ix *Inverted) Add(doc DocID, terms map[Term]uint64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.addLocked(doc, terms)
+}
+
+// BatchDoc pairs one document with its term-frequency map for AddBatch.
+type BatchDoc struct {
+	Doc   DocID
+	Terms map[Term]uint64
+}
+
+// AddBatch indexes a batch of documents under a single lock acquisition —
+// the bulk path epoch rebuilds use (Train re-creating an index from a store
+// snapshot). Semantically identical to calling Add once per entry, in order,
+// minus len(docs)-1 lock round-trips. On error the batch stops at the
+// offending document; earlier entries remain indexed.
+func (ix *Inverted) AddBatch(docs []BatchDoc) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, d := range docs {
+		if err := ix.addLocked(d.Doc, d.Terms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *Inverted) addLocked(doc DocID, terms map[Term]uint64) error {
 	if doc == "" {
 		return errors.New("index: empty DocID")
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if _, ok := ix.docTerms[doc]; ok {
 		ix.removeLocked(doc)
 	}

@@ -391,3 +391,101 @@ func TestAuthorizerGatesRequests(t *testing.T) {
 		t.Errorf("revoked token still admitted: err = %v", err)
 	}
 }
+
+func TestSearchServedWhileTrainRPCInFlight(t *testing.T) {
+	// The layered engine's non-blocking guarantee, observed from outside
+	// the process boundary: a Train RPC is held at its install point while
+	// a second connection searches, updates, and fetches — all of which
+	// must complete before training does.
+	srv := startServer(t)
+	conn := dial(t, srv, nil)
+	cc := newCoreClient(t, nil)
+
+	if err := conn.CreateRepository("live", smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+	topics := []string{"beach sand ocean", "mountain snow peaks", "city night lights"}
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < 3; i++ {
+			obj := &core.Object{
+				ID:    fmt.Sprintf("live-c%d-%d", cls, i),
+				Owner: "alice",
+				Text:  topics[cls],
+				Image: classImage(cls, int64(i)),
+			}
+			up, err := cc.PrepareUpdate(obj, dataKey())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := conn.Update("live", up); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := conn.Train("live"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the NEXT train right before its epoch swap.
+	reached := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	core.SetTrainInstallHookForTest(func() {
+		once.Do(func() { close(reached) })
+		<-gate
+	})
+	t.Cleanup(func() { core.SetTrainInstallHookForTest(nil) })
+
+	trainDone := make(chan error, 1)
+	go func() { trainDone <- conn.Train("live") }()
+	<-reached
+
+	// A separate connection's requests are served while the Train RPC is
+	// provably still in flight.
+	conn2 := dial(t, srv, nil)
+	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "mountain peaks"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := conn2.Search("live", q)
+	if err != nil {
+		t.Fatalf("search during train RPC: %v", err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("search during train RPC found nothing")
+	}
+	up, err := cc.PrepareUpdate(&core.Object{ID: "live-mid", Owner: "alice", Text: "mountain peaks climbing"}, dataKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn2.Update("live", up); err != nil {
+		t.Fatalf("update during train RPC: %v", err)
+	}
+	if _, _, err := conn2.Get("live", hits[0].ObjectID); err != nil {
+		t.Fatalf("get during train RPC: %v", err)
+	}
+	select {
+	case err := <-trainDone:
+		t.Fatalf("train RPC finished before gate released (err=%v)", err)
+	default:
+	}
+
+	close(gate)
+	if err := <-trainDone; err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	// The mid-train update survived the epoch swap via changelog replay.
+	hits, err = conn2.Search("live", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.ObjectID == "live-mid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mid-train update missing after swap: %+v", hits)
+	}
+}

@@ -13,6 +13,9 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+# The commands must also vet clean under the static-networking build tag
+# used for fully static deploy builds.
+go vet -tags netgo ./cmd/...
 go build ./...
 go test -race ./...
 
