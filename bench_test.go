@@ -373,7 +373,7 @@ func BenchmarkAESCTREncrypt4KiB(b *testing.B) {
 
 // --- End-to-end per-operation benches ---------------------------------------
 
-func benchMIEStack(b *testing.B, n int) (*Client, Repository) {
+func benchMIEStack(b *testing.B, n int) (*Client, LegacyRepository) {
 	b.Helper()
 	key := RepositoryKey{Master: benchKey()}
 	client, err := NewClient(ClientConfig{

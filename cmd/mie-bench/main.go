@@ -35,6 +35,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig2, fig3, fig4, fig5, fig6, table3, attack, ablations, none")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "write the metrics registry snapshot as JSON to this file (empty = skip)")
 	parallel := flag.Int("parallel", 0, "run the concurrent-search benchmark with up to N search clients (0 = skip)")
+	singleConn := flag.Bool("single-conn", false, "with -parallel, also compare wire transports over TCP: v1 lockstep and v2 mux on one shared connection vs one v2 connection per client")
 	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "write the concurrent-search report as JSON to this file")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
@@ -42,7 +43,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *parallel > 0 {
-		if err := runConcurrency(*scale, *parallel, *concOut); err != nil {
+		if err := runConcurrency(*scale, *parallel, *singleConn, *concOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mie-bench:", err)
 			os.Exit(1)
 		}
@@ -58,7 +59,7 @@ func main() {
 // runConcurrency drives the concurrent-search benchmark at the canonical
 // client levels {1, 4, 16} capped at n (n itself is always included), prints
 // the report and writes it as JSON.
-func runConcurrency(scale string, n int, outPath string) error {
+func runConcurrency(scale string, n int, singleConn bool, outPath string) error {
 	cfg, err := configFor(scale)
 	if err != nil {
 		return err
@@ -75,6 +76,13 @@ func runConcurrency(scale string, n int, outPath string) error {
 	report, err := experiments.ConcurrencyExperiment(cfg, levels)
 	if err != nil {
 		return fmt.Errorf("concurrency: %w", err)
+	}
+	if singleConn {
+		wire, err := experiments.WireConcurrencyExperiment(cfg, levels)
+		if err != nil {
+			return fmt.Errorf("wire concurrency: %w", err)
+		}
+		report.Wire = wire
 	}
 	experiments.WriteConcurrencyReport(os.Stdout, report)
 	if outPath == "" {

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"flag"
@@ -38,6 +39,7 @@ func main() {
 	serverAddr := flag.String("server", "127.0.0.1:7709", "MIE server address")
 	keyFile := flag.String("key", "repo.key", "repository key file")
 	k := flag.Int("k", 10, "number of search results")
+	timeout := flag.Duration("timeout", 0, "per-command deadline, carried to the server over the wire (0 = none)")
 	imagePath := flag.String("image", "", "PGM image for query-by-example searches")
 	verbose := flag.Bool("v", false, "log per-operation client-side timings to stderr")
 	flag.Parse()
@@ -46,7 +48,13 @@ func main() {
 		logger = obs.NewLogger(os.Stderr, obs.LevelDebug)
 	}
 	start := time.Now()
-	err := run(*serverAddr, *keyFile, *k, *imagePath, flag.Args())
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	err := run(ctx, *serverAddr, *keyFile, *k, *imagePath, flag.Args())
 	cmd := ""
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
@@ -64,7 +72,7 @@ func main() {
 	}
 }
 
-func run(serverAddr, keyFile string, k int, imagePath string, args []string) error {
+func run(ctx context.Context, serverAddr, keyFile string, k int, imagePath string, args []string) error {
 	if len(args) == 0 {
 		return errors.New("missing command (keygen|create|add|train|search|get|remove)")
 	}
@@ -94,11 +102,16 @@ func run(serverAddr, keyFile string, k int, imagePath string, args []string) err
 		return fmt.Errorf("%s: missing repository name", cmd)
 	}
 	repoID, args := args[0], args[1:]
-	repo, err := mie.OpenRemote(serverAddr, client, repoID, mie.RemoteOptions{Create: cmd == "create"})
+	repo, err := mie.Open(ctx, mie.Options{
+		Addr:   serverAddr,
+		Client: client,
+		RepoID: repoID,
+		Create: cmd == "create",
+	})
 	if err != nil {
 		return err
 	}
-	defer func() { _ = mie.Close(repo) }()
+	defer func() { _ = repo.Close() }()
 
 	dataKey := crypto.DeriveKey(key.Master, "cli-data-key")
 	switch cmd {
@@ -119,16 +132,25 @@ func run(serverAddr, keyFile string, k int, imagePath string, args []string) err
 				return err
 			}
 		}
-		if err := repo.Add(obj, dataKey); err != nil {
+		if err := repo.Add(ctx, obj, dataKey); err != nil {
 			return err
 		}
 		fmt.Printf("added %q (%d bytes of text%s)\n", args[0], len(raw), imageNote(obj))
 		return nil
 	case "train":
-		if err := repo.Train(); err != nil {
+		job, err := repo.TrainAsync(ctx)
+		if err != nil {
 			return err
 		}
-		fmt.Println("training + indexing completed in the cloud")
+		fmt.Printf("training job %d running in the cloud...\n", job.ID())
+		st, err := job.Wait(ctx)
+		if err != nil {
+			return err
+		}
+		if st.State == mie.TrainFailed {
+			return fmt.Errorf("training failed: %s", st.Err)
+		}
+		fmt.Printf("training + indexing completed in the cloud (epoch %d)\n", st.Epoch)
 		return nil
 	case "search":
 		if len(args) == 0 && imagePath == "" {
@@ -141,7 +163,7 @@ func run(serverAddr, keyFile string, k int, imagePath string, args []string) err
 				return err
 			}
 		}
-		hits, err := repo.Search(query, k)
+		hits, err := repo.Search(ctx, query, k)
 		if err != nil {
 			return err
 		}
@@ -157,7 +179,7 @@ func run(serverAddr, keyFile string, k int, imagePath string, args []string) err
 		if len(args) < 1 {
 			return errors.New("get: need <object-id>")
 		}
-		ct, owner, err := repo.Get(args[0])
+		ct, owner, err := repo.Get(ctx, args[0])
 		if err != nil {
 			return err
 		}
@@ -171,7 +193,7 @@ func run(serverAddr, keyFile string, k int, imagePath string, args []string) err
 		if len(args) < 1 {
 			return errors.New("remove: need <object-id>")
 		}
-		if err := repo.Remove(args[0]); err != nil {
+		if err := repo.Remove(ctx, args[0]); err != nil {
 			return err
 		}
 		fmt.Printf("removed %q\n", args[0])

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// 1. The repository creator generates rk_R and shares it with trusted
 	//    users out of band.
 	repoKey, err := mie.NewRepositoryKey()
@@ -33,13 +35,17 @@ func run() error {
 		return err
 	}
 
-	// 2. An in-process cloud service (swap OpenLocal for OpenRemote to talk
-	//    to a real mie-server).
-	svc := mie.NewService()
-	repo, err := mie.OpenLocal(svc, client, "vacation", mie.RepositoryOptions{})
+	// 2. An in-process cloud service (set Options.Addr to talk to a real
+	//    mie-server over TCP instead).
+	repo, err := mie.Open(ctx, mie.Options{
+		Client: client,
+		RepoID: "vacation",
+		Create: true,
+	})
 	if err != nil {
 		return err
 	}
+	defer repo.Close()
 
 	// 3. Upload multimodal objects, each under its own data key.
 	dataKey, err := mie.NewDataKey()
@@ -63,7 +69,7 @@ func run() error {
 			Text:  a.tags,
 			Image: syntheticPhoto(a.seed),
 		}
-		if err := repo.Add(obj, dataKey); err != nil {
+		if err := repo.Add(ctx, obj, dataKey); err != nil {
 			return fmt.Errorf("add %s: %w", a.id, err)
 		}
 		fmt.Printf("uploaded %-14s (encrypted; server sees only tokens and encodings)\n", a.id)
@@ -71,7 +77,7 @@ func run() error {
 
 	// 4. Training and indexing run on the server, over the encodings — the
 	//    client pays nothing (the headline result of the paper).
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		return err
 	}
 	fmt.Println("cloud trained the visual codebook and indexed everything")
@@ -82,7 +88,7 @@ func run() error {
 		Text:  "ocean beach waves",
 		Image: syntheticPhoto(1),
 	}
-	hits, err := repo.Search(query, 3)
+	hits, err := repo.Search(ctx, query, 3)
 	if err != nil {
 		return err
 	}

@@ -2,9 +2,28 @@
 // it speaks the wire protocol to a server hosting core.Service, and couples
 // each exchange to a device.Meter so the figures' Network sub-operation can
 // be attributed per call.
+//
+// A Conn negotiates protocol v2 at dial time and then multiplexes: one
+// writer goroutine serializes outgoing frames, one reader goroutine demuxes
+// responses by request ID, and any number of callers share the single TCP
+// connection with their requests in flight concurrently — sixteen pipelined
+// searches cost one connection, not sixteen. Deadlines on the caller's
+// context ride along on the wire, and canceling a context mid-call emits a
+// best-effort Cancel frame so the server can abandon the work. Against a v1
+// server (which answers the hello with an "unknown kind" error) the Conn
+// falls back to lockstep framing: one request in flight at a time, exactly
+// the v1 contract.
+//
+// Transport failures poison the connection — a frame boundary lost to a
+// half-written request or half-read response makes every subsequent byte
+// stream position undefined, so the TCP connection is discarded rather than
+// reused. Idempotent operations (Search, Get, TrainStatus, TrainWait)
+// transparently redial with capped exponential backoff; mutations surface
+// the error to the caller, who alone knows whether re-sending is safe.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -17,6 +36,31 @@ import (
 	"mie/internal/wire"
 )
 
+// RemoteError is an application-level error reported by the server: the
+// request was delivered, processed, and rejected. It is never retried (the
+// outcome is deterministic) — in contrast to transport errors, which are.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// ErrClosed is returned for calls on a Conn after Close.
+var ErrClosed = errors.New("client: connection closed")
+
+// Reconnect policy for idempotent calls that hit a transport error.
+const (
+	defaultMaxRetries   = 3
+	reconnectBackoffMin = 25 * time.Millisecond
+	reconnectBackoffMax = 800 * time.Millisecond
+)
+
+// writeQueueDepth bounds frames queued to the writer goroutine. Callers
+// block (cancelably) when it is full; fire-and-forget Cancel frames are
+// dropped instead, since the server finishing a canceled request is merely
+// wasted work, not an error.
+const writeQueueDepth = 64
+
 // Option customizes a Conn.
 type Option func(*Conn)
 
@@ -26,9 +70,20 @@ func WithObservability(reg *obs.Registry) Option {
 	return func(c *Conn) { c.reg = reg }
 }
 
-// Conn is a client connection to one MIE server. Calls are serialized over
-// a single TCP connection (one in-flight request per Conn); open several
-// Conns for parallelism.
+// WithLockstep forces protocol v1: no hello exchange, ID-less envelopes and
+// one request in flight at a time. Used to benchmark the mux against the
+// lockstep baseline and to emulate v1 peers.
+func WithLockstep() Option {
+	return func(c *Conn) { c.lockstep = true }
+}
+
+// WithMaxRetries bounds transparent redial attempts for idempotent calls on
+// transport errors; 0 disables reconnection entirely.
+func WithMaxRetries(n int) Option {
+	return func(c *Conn) { c.retries = n }
+}
+
+// Conn is a client connection to one MIE server.
 //
 // Every round trip records a client_request_seconds{kind=...} latency
 // histogram and tx/rx byte counters, so the client-vs-cloud latency split of
@@ -36,31 +91,51 @@ func WithObservability(reg *obs.Registry) Option {
 // time is client_request_seconds, the cloud's share of it is the matching
 // server_request_seconds, and the difference is the network.
 type Conn struct {
-	mu    sync.Mutex
-	tcp   net.Conn
-	meter *device.Meter
-	reg   *obs.Registry
-	token string
+	addr     string
+	meter    *device.Meter
+	reg      *obs.Registry
+	lockstep bool
+	retries  int
+
+	mu     sync.Mutex
+	token  string
+	tr     *transport
+	closed bool
+	dialed bool // a transport has connected at least once
 }
 
-// Dial connects to an MIE server. meter may be nil.
+// Dial connects to an MIE server and negotiates the protocol version.
+// meter may be nil.
 func Dial(addr string, meter *device.Meter, opts ...Option) (*Conn, error) {
-	tcp, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
-	c := &Conn{tcp: tcp, meter: meter}
+	c := &Conn{addr: addr, meter: meter, retries: defaultMaxRetries}
 	for _, opt := range opts {
 		opt(c)
 	}
 	if c.reg == nil {
 		c.reg = obs.Default()
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.transportLocked(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
-// Close shuts the connection down.
-func (c *Conn) Close() error { return c.tcp.Close() }
+// Close shuts the connection down. In-flight calls fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.tr != nil {
+		c.tr.fail(ErrClosed)
+		c.tr = nil
+	}
+	return nil
+}
 
 // SetToken attaches a bearer authorization token (minted by the repository
 // owner's auth.Authority) to every subsequent request.
@@ -70,9 +145,365 @@ func (c *Conn) SetToken(token string) {
 	c.token = token
 }
 
-// roundTrip sends one request and reads one response, accounting bytes to
-// the given cost category.
-func (c *Conn) roundTrip(cat device.Category, kind string, req, resp interface{}) (err error) {
+// Protocol reports the negotiated protocol version of the live transport
+// (wire.ProtocolV2 on a multiplexed connection, wire.ProtocolV1 in lockstep
+// fallback or when forced by WithLockstep).
+func (c *Conn) Protocol() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tr != nil && c.tr.v2 {
+		return wire.ProtocolV2
+	}
+	return wire.ProtocolV1
+}
+
+func (c *Conn) tokenSnapshot() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+// transport returns the live transport, redialing if the previous one was
+// poisoned. Redials after the initial connection are counted as reconnects.
+func (c *Conn) transport() (*transport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.transportLocked()
+}
+
+func (c *Conn) transportLocked() (*transport, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.tr != nil {
+		select {
+		case <-c.tr.done: // poisoned; discard and redial below
+			c.tr = nil
+		default:
+			return c.tr, nil
+		}
+	}
+	t, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	if c.dialed {
+		c.reg.Counter("client_reconnects_total").Inc()
+	}
+	c.dialed = true
+	c.tr = t
+	return t, nil
+}
+
+// connect dials and runs version negotiation: a hello answered by HelloResp
+// selects the multiplexed protocol; any other answer (a v1 server says
+// "unknown kind") selects lockstep. Handshake traffic is connection setup,
+// not an operation, so it is not metered.
+func (c *Conn) connect() (*transport, error) {
+	tcp, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	t := &transport{
+		tcp:    tcp,
+		reg:    c.reg,
+		calls:  make(map[uint64]chan demuxed),
+		writeq: make(chan outFrame, writeQueueDepth),
+		done:   make(chan struct{}),
+	}
+	if !c.lockstep {
+		if _, err := wire.WriteFrame(tcp, wire.KindHello, wire.Hello{MaxVersion: wire.ProtocolV2}); err != nil {
+			_ = tcp.Close()
+			return nil, fmt.Errorf("client: hello: %w", err)
+		}
+		env, _, err := wire.ReadFrame(tcp)
+		if err != nil {
+			_ = tcp.Close()
+			return nil, fmt.Errorf("client: hello response: %w", err)
+		}
+		if env.Kind == wire.KindHelloResp {
+			var hr wire.HelloResp
+			if err := env.Decode(&hr); err == nil && hr.Version >= wire.ProtocolV2 {
+				t.v2 = true
+			}
+		}
+	}
+	if t.v2 {
+		go t.writeLoop()
+		go t.readLoop()
+	}
+	return t, nil
+}
+
+// demuxed is one response frame routed to its caller.
+type demuxed struct {
+	env *wire.Envelope
+	n   int // bytes on the wire
+}
+
+type writeResult struct {
+	n   int
+	err error
+}
+
+type outFrame struct {
+	env *wire.Envelope
+	res chan writeResult // nil for fire-and-forget frames (Cancel)
+}
+
+// transport is one TCP connection plus its mux state. It is immutable after
+// connect except for the call table; once poisoned (fail) it is never
+// reused — Conn dials a fresh one.
+type transport struct {
+	tcp    net.Conn
+	reg    *obs.Registry
+	v2     bool
+	writeq chan outFrame
+	done   chan struct{}
+
+	lsMu sync.Mutex // lockstep mode: serializes whole round trips
+
+	mu     sync.Mutex
+	nextID uint64
+	calls  map[uint64]chan demuxed
+	err    error
+
+	failOnce sync.Once
+}
+
+// fail poisons the transport exactly once: records the cause, drains the
+// call table (closing each pending caller's channel), and closes the socket.
+// Only the owner of a live map entry may send on its channel, and fail
+// removes entries before closing them, so close never races a send.
+func (t *transport) fail(err error) {
+	t.failOnce.Do(func() {
+		t.mu.Lock()
+		t.err = err
+		for id, ch := range t.calls {
+			delete(t.calls, id)
+			close(ch)
+		}
+		t.mu.Unlock()
+		close(t.done)
+		_ = t.tcp.Close()
+	})
+}
+
+// failure returns the poison cause.
+func (t *transport) failure() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return errors.New("client: connection failed")
+}
+
+// register allocates a request ID and installs the caller's response channel.
+func (t *transport) register(ch chan demuxed) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	t.calls[t.nextID] = ch
+	return t.nextID
+}
+
+// unregister removes a call table entry, if still present.
+func (t *transport) unregister(id uint64) {
+	t.mu.Lock()
+	delete(t.calls, id)
+	t.mu.Unlock()
+}
+
+// abandon gives up on an in-flight request: removes its table entry (so a
+// late response is dropped by the demux) and emits a best-effort Cancel
+// frame telling the server to stop working on it.
+func (t *transport) abandon(id uint64) {
+	t.mu.Lock()
+	_, pending := t.calls[id]
+	delete(t.calls, id)
+	t.mu.Unlock()
+	if !pending {
+		return // already answered or transport already failed
+	}
+	env, err := wire.NewEnvelope(wire.KindCancel, "", 0, 0, wire.CancelReq{ID: id})
+	if err != nil {
+		return
+	}
+	select {
+	case t.writeq <- outFrame{env: env}:
+		t.reg.Counter("client_cancel_frames_total").Inc()
+	case <-t.done:
+	default: // queue full: skip — the server just finishes the request
+	}
+}
+
+// writeLoop is the single writer: it serializes all outgoing frames onto the
+// socket and reports each frame's fate to its sender. A write error poisons
+// the transport — the peer's read position is unknowable mid-frame.
+func (t *transport) writeLoop() {
+	for {
+		select {
+		case f := <-t.writeq:
+			n, err := wire.WriteEnvelope(t.tcp, f.env)
+			t.reg.Counter("client_tx_bytes_total").Add(int64(n))
+			if f.res != nil {
+				f.res <- writeResult{n, err}
+			}
+			if err != nil {
+				t.fail(fmt.Errorf("client: write %s: %w", f.env.Kind, err))
+				return
+			}
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// readLoop is the demux: it routes each response frame to the caller whose
+// request ID it echoes. Frames for unknown IDs are responses to abandoned
+// (canceled) requests and are dropped. A read error poisons the transport.
+func (t *transport) readLoop() {
+	for {
+		env, n, err := wire.ReadFrame(t.tcp)
+		if err != nil {
+			t.fail(fmt.Errorf("client: read response: %w", err))
+			return
+		}
+		t.reg.Counter("client_rx_bytes_total").Add(int64(n))
+		t.mu.Lock()
+		ch, ok := t.calls[env.ID]
+		if ok {
+			delete(t.calls, env.ID)
+		}
+		t.mu.Unlock()
+		if !ok {
+			t.reg.Counter("client_late_replies_total").Inc()
+			continue
+		}
+		ch <- demuxed{env, n} // buffered; entry removal above makes this the only send
+	}
+}
+
+// muxCall runs one request/response exchange on a multiplexed transport.
+func (c *Conn) muxCall(ctx context.Context, t *transport, kind string, req interface{}) (*wire.Envelope, int, int, error) {
+	var timeout time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+		if timeout <= 0 {
+			return nil, 0, 0, context.DeadlineExceeded
+		}
+	}
+	ch := make(chan demuxed, 1)
+	id := t.register(ch)
+	defer t.unregister(id)
+	env, err := wire.NewEnvelope(kind, c.tokenSnapshot(), id, timeout, req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res := make(chan writeResult, 1)
+	select {
+	case t.writeq <- outFrame{env: env, res: res}:
+	case <-t.done:
+		return nil, 0, 0, t.failure()
+	case <-ctx.Done():
+		return nil, 0, 0, ctx.Err()
+	}
+	var up int
+	select {
+	case wr := <-res:
+		if wr.err != nil {
+			return nil, 0, 0, wr.err
+		}
+		up = wr.n
+	case <-t.done:
+		return nil, 0, 0, t.failure()
+	}
+	select {
+	case d, ok := <-ch:
+		if !ok {
+			return nil, up, 0, t.failure()
+		}
+		return d.env, up, d.n, nil
+	case <-ctx.Done():
+		t.abandon(id)
+		return nil, up, 0, ctx.Err()
+	case <-t.done:
+		// Teardown may race a response already delivered to ch.
+		select {
+		case d, ok := <-ch:
+			if ok {
+				return d.env, up, d.n, nil
+			}
+		default:
+		}
+		return nil, up, 0, t.failure()
+	}
+}
+
+// lockstepCall runs one request/response exchange in v1 framing: the whole
+// round trip holds the transport, exactly one request in flight. A context
+// deadline is enforced via socket deadlines; any failure mid-exchange
+// poisons the transport, because a partially written request or partially
+// read response leaves the stream position undefined.
+func (c *Conn) lockstepCall(ctx context.Context, t *transport, kind string, req interface{}) (*wire.Envelope, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	var timeout time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+	}
+	env, err := wire.NewEnvelope(kind, c.tokenSnapshot(), 0, timeout, req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	t.lsMu.Lock()
+	defer t.lsMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = t.tcp.SetDeadline(dl)
+		defer func() { _ = t.tcp.SetDeadline(time.Time{}) }()
+	}
+	up, err := wire.WriteEnvelope(t.tcp, env)
+	t.reg.Counter("client_tx_bytes_total").Add(int64(up))
+	if err != nil {
+		err = fmt.Errorf("client: write %s: %w", kind, err)
+		t.fail(err)
+		return nil, 0, 0, err
+	}
+	renv, down, err := wire.ReadFrame(t.tcp)
+	if err != nil {
+		err = fmt.Errorf("client: %s response: %w", kind, err)
+		t.fail(err)
+		return nil, up, 0, err
+	}
+	t.reg.Counter("client_rx_bytes_total").Add(int64(down))
+	return renv, up, down, nil
+}
+
+// transient reports whether err is a transport-level failure worth a
+// reconnect attempt — as opposed to a server-reported rejection, a caller
+// cancellation, an explicit Close, or a protocol violation, none of which a
+// fresh connection can fix.
+func transient(err error) bool {
+	var re *RemoteError
+	switch {
+	case errors.As(err, &re):
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, ErrClosed):
+		return false
+	case wire.IsMalformed(err):
+		return false
+	}
+	return true
+}
+
+// roundTrip sends one request and awaits its response, accounting bytes to
+// the given cost category. Idempotent calls that hit a transport error are
+// retried on a fresh connection with capped exponential backoff.
+func (c *Conn) roundTrip(ctx context.Context, cat device.Category, kind string, idempotent bool, req, resp interface{}) (err error) {
 	start := time.Now()
 	defer func() {
 		c.reg.Histogram(obs.L("client_request_seconds", "kind", kind)).Observe(time.Since(start).Seconds())
@@ -80,95 +511,150 @@ func (c *Conn) roundTrip(cat device.Category, kind string, req, resp interface{}
 			c.reg.Counter(obs.L("client_request_errors_total", "kind", kind)).Inc()
 		}
 	}()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	up, err := wire.WriteFrameAuth(c.tcp, kind, c.token, req)
-	if err != nil {
-		return err
-	}
-	env, down, err := wire.ReadFrame(c.tcp)
-	if err != nil {
-		return fmt.Errorf("client: %s response: %w", kind, err)
-	}
-	c.reg.Counter("client_tx_bytes_total").Add(int64(up))
-	c.reg.Counter("client_rx_bytes_total").Add(int64(down))
-	if c.meter != nil {
-		c.meter.AddTransfer(cat, int64(up), int64(down))
-	}
-	if env.Kind == wire.KindError {
-		var ack wire.Ack
-		if derr := env.Decode(&ack); derr == nil && ack.Err != "" {
-			return errors.New(ack.Err)
+	backoff := reconnectBackoffMin
+	for attempt := 0; ; attempt++ {
+		var env *wire.Envelope
+		var up, down int
+		var t *transport
+		t, err = c.transport()
+		if err == nil {
+			if t.v2 {
+				env, up, down, err = c.muxCall(ctx, t, kind, req)
+			} else {
+				env, up, down, err = c.lockstepCall(ctx, t, kind, req)
+			}
 		}
-		return errors.New("client: server rejected request")
+		if err == nil {
+			if c.meter != nil {
+				c.meter.AddTransfer(cat, int64(up), int64(down))
+			}
+			if env.Kind == wire.KindError {
+				var ack wire.Ack
+				if derr := env.Decode(&ack); derr == nil && ack.Err != "" {
+					return &RemoteError{Msg: ack.Err}
+				}
+				return &RemoteError{Msg: "server rejected request"}
+			}
+			return env.Decode(resp)
+		}
+		if !idempotent || attempt >= c.retries || !transient(err) || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > reconnectBackoffMax {
+			backoff = reconnectBackoffMax
+		}
 	}
-	return env.Decode(resp)
 }
 
 // CreateRepository asks the server to initialize a repository.
-func (c *Conn) CreateRepository(repoID string, opts wire.RepoOptions) error {
+func (c *Conn) CreateRepository(ctx context.Context, repoID string, opts wire.RepoOptions) error {
 	var ack wire.Ack
-	if err := c.roundTrip(device.Network, wire.KindCreateRepo, wire.CreateRepoReq{RepoID: repoID, Opts: opts}, &ack); err != nil {
+	if err := c.roundTrip(ctx, device.Network, wire.KindCreateRepo, false, wire.CreateRepoReq{RepoID: repoID, Opts: opts}, &ack); err != nil {
 		return err
 	}
 	return ackErr(ack)
 }
 
-// Train triggers cloud-side training (free for the client: the only cost is
-// the request round trip, which is the point of MIE).
-func (c *Conn) Train(repoID string) error {
+// Train triggers cloud-side training and blocks until it completes (free for
+// the client: the only cost is the request round trip, which is the point of
+// MIE). On a multiplexed connection other requests proceed meanwhile; use
+// TrainStart for a non-blocking handle.
+func (c *Conn) Train(ctx context.Context, repoID string) error {
 	var ack wire.Ack
-	if err := c.roundTrip(device.Network, wire.KindTrain, wire.TrainReq{RepoID: repoID}, &ack); err != nil {
+	if err := c.roundTrip(ctx, device.Network, wire.KindTrain, false, wire.TrainReq{RepoID: repoID}, &ack); err != nil {
 		return err
 	}
 	return ackErr(ack)
+}
+
+// TrainStart launches an asynchronous server-side training job and returns
+// its status handle immediately. If a job is already running its handle is
+// returned instead of starting another.
+func (c *Conn) TrainStart(ctx context.Context, repoID string) (wire.TrainJobStatus, error) {
+	var resp wire.TrainJobResp
+	if err := c.roundTrip(ctx, device.Network, wire.KindTrainStart, false, wire.TrainReq{RepoID: repoID}, &resp); err != nil {
+		return wire.TrainJobStatus{}, err
+	}
+	return trainJobResult(resp)
+}
+
+// TrainStatus polls a training job.
+func (c *Conn) TrainStatus(ctx context.Context, repoID string, jobID uint64) (wire.TrainJobStatus, error) {
+	var resp wire.TrainJobResp
+	if err := c.roundTrip(ctx, device.Network, wire.KindTrainStatus, true, wire.TrainJobReq{RepoID: repoID, JobID: jobID}, &resp); err != nil {
+		return wire.TrainJobStatus{}, err
+	}
+	return trainJobResult(resp)
+}
+
+// TrainWait blocks until a training job finishes or ctx expires. If the
+// request deadline lapses server-side first, the job's still-running status
+// is returned without error; callers poll again or extend the deadline.
+func (c *Conn) TrainWait(ctx context.Context, repoID string, jobID uint64) (wire.TrainJobStatus, error) {
+	var resp wire.TrainJobResp
+	if err := c.roundTrip(ctx, device.Network, wire.KindTrainWait, true, wire.TrainJobReq{RepoID: repoID, JobID: jobID}, &resp); err != nil {
+		return wire.TrainJobStatus{}, err
+	}
+	return trainJobResult(resp)
 }
 
 // Update uploads a prepared encrypted update.
-func (c *Conn) Update(repoID string, up *core.Update) error {
+func (c *Conn) Update(ctx context.Context, repoID string, up *core.Update) error {
 	var ack wire.Ack
-	if err := c.roundTrip(device.Network, wire.KindUpdate, wire.UpdateReq{RepoID: repoID, Update: *up}, &ack); err != nil {
+	if err := c.roundTrip(ctx, device.Network, wire.KindUpdate, false, wire.UpdateReq{RepoID: repoID, Update: *up}, &ack); err != nil {
 		return err
 	}
 	return ackErr(ack)
 }
 
 // Remove deletes an object from the repository.
-func (c *Conn) Remove(repoID, objectID string) error {
+func (c *Conn) Remove(ctx context.Context, repoID, objectID string) error {
 	var ack wire.Ack
-	if err := c.roundTrip(device.Network, wire.KindRemove, wire.RemoveReq{RepoID: repoID, ObjectID: objectID}, &ack); err != nil {
+	if err := c.roundTrip(ctx, device.Network, wire.KindRemove, false, wire.RemoveReq{RepoID: repoID, ObjectID: objectID}, &ack); err != nil {
 		return err
 	}
 	return ackErr(ack)
 }
 
 // Search runs a prepared multimodal query and returns ranked hits.
-func (c *Conn) Search(repoID string, q *core.Query) ([]core.SearchHit, error) {
+func (c *Conn) Search(ctx context.Context, repoID string, q *core.Query) ([]core.SearchHit, error) {
 	var resp wire.SearchResp
-	if err := c.roundTrip(device.Network, wire.KindSearch, wire.SearchReq{RepoID: repoID, Query: *q}, &resp); err != nil {
+	if err := c.roundTrip(ctx, device.Network, wire.KindSearch, true, wire.SearchReq{RepoID: repoID, Query: *q}, &resp); err != nil {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, &RemoteError{Msg: resp.Err}
 	}
 	return resp.Hits, nil
 }
 
 // Get fetches one stored ciphertext and its owner.
-func (c *Conn) Get(repoID, objectID string) (ciphertext []byte, owner string, err error) {
+func (c *Conn) Get(ctx context.Context, repoID, objectID string) (ciphertext []byte, owner string, err error) {
 	var resp wire.GetResp
-	if err := c.roundTrip(device.Network, wire.KindGet, wire.GetReq{RepoID: repoID, ObjectID: objectID}, &resp); err != nil {
+	if err := c.roundTrip(ctx, device.Network, wire.KindGet, true, wire.GetReq{RepoID: repoID, ObjectID: objectID}, &resp); err != nil {
 		return nil, "", err
 	}
 	if resp.Err != "" {
-		return nil, "", errors.New(resp.Err)
+		return nil, "", &RemoteError{Msg: resp.Err}
 	}
 	return resp.Ciphertext, resp.Owner, nil
 }
 
 func ackErr(ack wire.Ack) error {
 	if ack.Err != "" {
-		return errors.New(ack.Err)
+		return &RemoteError{Msg: ack.Err}
 	}
 	return nil
+}
+
+func trainJobResult(resp wire.TrainJobResp) (wire.TrainJobStatus, error) {
+	if resp.Err != "" {
+		return wire.TrainJobStatus{}, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Job, nil
 }

@@ -1,14 +1,24 @@
 package client
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mie/internal/core"
 	"mie/internal/device"
+	"mie/internal/obs"
 	"mie/internal/wire"
 )
+
+var bg = context.Background()
 
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", nil); err == nil {
@@ -16,9 +26,41 @@ func TestDialFailure(t *testing.T) {
 	}
 }
 
-// fakeServer accepts one connection and answers every request with the
-// given envelope kind/payload.
+// fakeServer accepts connections and answers every request — including the
+// hello, which makes clients fall back to lockstep — with the given
+// envelope kind/payload.
 func fakeServer(t *testing.T, kind string, payload interface{}) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					if _, _, err := wire.ReadFrame(conn); err != nil {
+						return
+					}
+					if _, err := wire.WriteFrame(conn, kind, payload); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// fakeMuxServer accepts one connection, answers the hello with protocol v2,
+// and hands the connection to serve.
+func fakeMuxServer(t *testing.T, serve func(conn net.Conn)) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -31,14 +73,14 @@ func fakeServer(t *testing.T, kind string, payload interface{}) string {
 			return
 		}
 		defer conn.Close()
-		for {
-			if _, _, err := wire.ReadFrame(conn); err != nil {
-				return
-			}
-			if _, err := wire.WriteFrame(conn, kind, payload); err != nil {
-				return
-			}
+		env, _, err := wire.ReadFrame(conn)
+		if err != nil || env.Kind != wire.KindHello {
+			return
 		}
+		if _, err := wire.WriteFrame(conn, wire.KindHelloResp, wire.HelloResp{Version: wire.ProtocolV2}); err != nil {
+			return
+		}
+		serve(conn)
 	}()
 	return ln.Addr().String()
 }
@@ -50,8 +92,17 @@ func TestServerErrorKindSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Train("r"); err == nil || !strings.Contains(err.Error(), "nope") {
+	// The hello was answered with an error kind: lockstep fallback.
+	if got := c.Protocol(); got != wire.ProtocolV1 {
+		t.Errorf("negotiated protocol = %d, want v1 fallback", got)
+	}
+	err = c.Train(bg, "r")
+	if err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Errorf("err = %v, want server error text", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Errorf("server-reported error not a RemoteError: %T", err)
 	}
 }
 
@@ -62,7 +113,7 @@ func TestAckErrorSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Remove("x", "obj"); err == nil || !strings.Contains(err.Error(), "not found") {
+	if err := c.Remove(bg, "x", "obj"); err == nil || !strings.Contains(err.Error(), "not found") {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -74,7 +125,7 @@ func TestSearchRespError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Search("r", &core.Query{K: 1}); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := c.Search(bg, "r", &core.Query{K: 1}); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -86,7 +137,7 @@ func TestGetRespError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.Get("r", "obj"); err == nil || !strings.Contains(err.Error(), "missing") {
+	if _, _, err := c.Get(bg, "r", "obj"); err == nil || !strings.Contains(err.Error(), "missing") {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -103,12 +154,12 @@ func TestConnClosedMidRequest(t *testing.T) {
 		}
 		_ = conn.Close() // hang up without answering
 	}()
-	c, err := Dial(ln.Addr().String(), device.NewMeter(device.Desktop))
+	c, err := Dial(ln.Addr().String(), device.NewMeter(device.Desktop), WithLockstep())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Train("r"); err == nil {
+	if err := c.Train(bg, "r"); err == nil {
 		t.Error("expected error after server hangup")
 	}
 	_ = ln.Close()
@@ -134,16 +185,301 @@ func TestSetTokenIsAttached(t *testing.T) {
 		gotAuth <- env.Auth
 		_, _ = wire.WriteFrame(conn, wire.KindAck, wire.Ack{})
 	}()
-	c, err := Dial(ln.Addr().String(), nil)
+	c, err := Dial(ln.Addr().String(), nil, WithLockstep())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	c.SetToken("bearer-xyz")
-	if err := c.Train("r"); err != nil {
+	if err := c.Train(bg, "r"); err != nil {
 		t.Fatal(err)
 	}
 	if auth := <-gotAuth; auth != "bearer-xyz" {
 		t.Errorf("server saw auth %q", auth)
+	}
+}
+
+func TestMuxInterleavedResponses(t *testing.T) {
+	// 100 concurrent callers share one connection. The server collects every
+	// request before answering any, then replies in a shuffled order — the
+	// demux must still route each response to the caller whose ID it echoes.
+	const callers = 100
+	addr := fakeMuxServer(t, func(conn net.Conn) {
+		envs := make([]*wire.Envelope, 0, callers)
+		for len(envs) < callers {
+			env, _, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			envs = append(envs, env)
+		}
+		rng := rand.New(rand.NewSource(7))
+		rng.Shuffle(len(envs), func(i, j int) { envs[i], envs[j] = envs[j], envs[i] })
+		for _, env := range envs {
+			var req wire.SearchReq
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			resp, err := wire.NewEnvelope(wire.KindSearchResp, "", env.ID, 0,
+				wire.SearchResp{Hits: []core.SearchHit{{ObjectID: req.RepoID}}})
+			if err != nil {
+				return
+			}
+			if _, err := wire.WriteEnvelope(conn, resp); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Protocol(); got != wire.ProtocolV2 {
+		t.Fatalf("negotiated protocol = %d, want v2", got)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			repo := fmt.Sprintf("repo-%03d", i)
+			hits, err := c.Search(bg, repo, &core.Query{K: 1})
+			if err != nil {
+				errs <- fmt.Errorf("caller %d: %w", i, err)
+				return
+			}
+			if len(hits) != 1 || hits[0].ObjectID != repo {
+				errs <- fmt.Errorf("caller %d got %+v", i, hits)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCancelEmitsCancelFrame(t *testing.T) {
+	searchID := make(chan uint64, 1)
+	sawCancel := make(chan wire.CancelReq, 1)
+	addr := fakeMuxServer(t, func(conn net.Conn) {
+		env, _, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		searchID <- env.ID // hold the request: never answer it
+		env, _, err = wire.ReadFrame(conn)
+		if err != nil || env.Kind != wire.KindCancel {
+			return
+		}
+		var cr wire.CancelReq
+		if err := env.Decode(&cr); err == nil {
+			sawCancel <- cr
+		}
+	})
+	reg := obs.NewRegistry()
+	c, err := Dial(addr, nil, WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(bg)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Search(ctx, "r", &core.Query{K: 1})
+		done <- err
+	}()
+	var id uint64
+	select {
+	case id = <-searchID:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never received the search")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled search returned %v, want context.Canceled", err)
+	}
+	select {
+	case cr := <-sawCancel:
+		if cr.ID != id {
+			t.Errorf("cancel frame names request %d, want %d", cr.ID, id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never received a cancel frame")
+	}
+	if got := reg.Counter("client_cancel_frames_total").Value(); got != 1 {
+		t.Errorf("client_cancel_frames_total = %d, want 1", got)
+	}
+}
+
+func TestPoisonedConnNotReused(t *testing.T) {
+	// Regression: a response abandoned mid-frame leaves the TCP stream at an
+	// undefined position. The connection must be poisoned and replaced — not
+	// reused, where the next call would misread leftover bytes as its reply.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	var accepts int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := atomic.AddInt32(&accepts, 1)
+			go func(conn net.Conn, n int32) {
+				defer conn.Close()
+				if n == 1 {
+					if _, _, err := wire.ReadFrame(conn); err != nil {
+						return
+					}
+					// Header promises 50 bytes; send 5 and stall: the reply is
+					// stuck mid-frame on a connection that stays open.
+					_, _ = conn.Write([]byte{0, 0, 0, 50, 1, 2, 3, 4, 5})
+					<-release
+					return
+				}
+				for {
+					if _, _, err := wire.ReadFrame(conn); err != nil {
+						return
+					}
+					if _, err := wire.WriteFrame(conn, wire.KindAck, wire.Ack{}); err != nil {
+						return
+					}
+				}
+			}(conn, n)
+		}
+	}()
+	reg := obs.NewRegistry()
+	c, err := Dial(ln.Addr().String(), nil, WithLockstep(), WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(bg, 300*time.Millisecond)
+	defer cancel()
+	if err := c.Train(ctx, "r"); err == nil {
+		t.Fatal("train on the stalled connection should have failed")
+	}
+	// The next call must run on a fresh connection and succeed.
+	if err := c.Train(bg, "r"); err != nil {
+		t.Fatalf("train after poison: %v", err)
+	}
+	if got := atomic.LoadInt32(&accepts); got != 2 {
+		t.Errorf("server saw %d connections, want 2 (poisoned conn replaced)", got)
+	}
+	if got := reg.Counter("client_reconnects_total").Value(); got != 1 {
+		t.Errorf("client_reconnects_total = %d, want 1", got)
+	}
+}
+
+func TestIdempotentCallReconnects(t *testing.T) {
+	// A server that drops the first connection: Search (idempotent) retries
+	// on a fresh one and succeeds without the caller noticing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	var accepts int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if atomic.AddInt32(&accepts, 1) == 1 {
+				_ = conn.Close()
+				continue
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					if _, _, err := wire.ReadFrame(conn); err != nil {
+						return
+					}
+					if _, err := wire.WriteFrame(conn, wire.KindSearchResp,
+						wire.SearchResp{Hits: []core.SearchHit{{ObjectID: "x"}}}); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	reg := obs.NewRegistry()
+	c, err := Dial(ln.Addr().String(), nil, WithLockstep(), WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hits, err := c.Search(bg, "r", &core.Query{K: 1})
+	if err != nil {
+		t.Fatalf("search did not survive the dropped connection: %v", err)
+	}
+	if len(hits) != 1 || hits[0].ObjectID != "x" {
+		t.Errorf("hits = %+v", hits)
+	}
+	if got := reg.Counter("client_reconnects_total").Value(); got < 1 {
+		t.Errorf("client_reconnects_total = %d, want >= 1", got)
+	}
+}
+
+func TestMutationNotRetried(t *testing.T) {
+	// Update is not idempotent: a transport error surfaces to the caller
+	// instead of being silently re-sent.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	var accepts int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			atomic.AddInt32(&accepts, 1)
+			_ = conn.Close()
+		}
+	}()
+	reg := obs.NewRegistry()
+	c, err := Dial(ln.Addr().String(), nil, WithLockstep(), WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Update(bg, "r", &core.Update{}); err == nil {
+		t.Fatal("update on a dropped connection should fail")
+	}
+	if got := reg.Counter("client_reconnects_total").Value(); got != 0 {
+		t.Errorf("client_reconnects_total = %d, want 0 (mutations must not retry)", got)
+	}
+	if got := atomic.LoadInt32(&accepts); got != 1 {
+		t.Errorf("server saw %d connections, want 1", got)
+	}
+}
+
+func TestCallsAfterCloseFail(t *testing.T) {
+	addr := fakeServer(t, wire.KindAck, wire.Ack{})
+	c, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := c.Search(bg, "r", &core.Query{K: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("search after close: %v, want ErrClosed", err)
 	}
 }

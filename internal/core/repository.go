@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -92,6 +93,14 @@ func (o *RepositoryOptions) setDefaults() {
 	}
 }
 
+// WithDefaults returns a copy of o with zero fields replaced by the values
+// NewRepository would apply — the normalized form callers compare against
+// Repository.Options to detect a configuration mismatch on re-open.
+func (o RepositoryOptions) WithDefaults() RepositoryOptions {
+	o.setDefaults()
+	return o
+}
+
 // SearchHit is one ranked result returned to the querying user: the
 // encrypted object, its deterministic id and owner (the metadata pair of
 // §III-A) and the fused relevance score.
@@ -179,6 +188,8 @@ type Repository struct {
 	changelog *changelog
 	// trainMu serializes Train calls; searches and writes proceed under it.
 	trainMu sync.Mutex
+	// jobs tracks asynchronous training runs (TrainStart/TrainWait).
+	jobs jobTable
 }
 
 // Test hooks (nil outside tests): updateIndexHook injects an index failure
@@ -189,6 +200,7 @@ type Repository struct {
 var (
 	updateIndexHook  func(Modality) error
 	trainInstallHook func()
+	searchStartHook  func()
 )
 
 // SetTrainInstallHookForTest installs (or, with nil, clears) the off-lock
@@ -196,6 +208,12 @@ var (
 // the server tests hold a Train RPC in flight with it to prove searches
 // keep being served over the wire. Never set in production code.
 func SetTrainInstallHookForTest(f func()) { trainInstallHook = f }
+
+// SetSearchStartHookForTest installs (or, with nil, clears) a hook that runs
+// at the top of every Search. Server tests use it to hold a Search RPC in
+// flight so cancellation mid-search is observable deterministically. Never
+// set in production code.
+func SetSearchStartHookForTest(f func()) { searchStartHook = f }
 
 // NewRepository creates the server-side representation of a repository
 // (CLOUD.CreateRepository of Algorithm 5).
@@ -217,6 +235,11 @@ func NewRepository(id string, opts RepositoryOptions) (*Repository, error) {
 
 // ID returns the repository's deterministic identifier (setup leakage).
 func (r *Repository) ID() string { return r.id }
+
+// Options returns the engine parameters the repository was created with
+// (defaults applied). Callers re-opening an existing repository compare
+// against it to detect a configuration mismatch.
+func (r *Repository) Options() RepositoryOptions { return r.opts }
 
 // Leakage exposes the record of information patterns the server observed;
 // tests assert against it and the bench harness reports it.
@@ -379,11 +402,22 @@ func (r *Repository) Get(objectID string) (ciphertext []byte, owner string, err 
 // and a fresh index set entirely off-lock, then replays the changelog and
 // installs the new epoch with one atomic swap. A Search issued mid-training
 // is served by the previous epoch throughout.
-func (r *Repository) Train() error {
+func (r *Repository) Train() error { return r.TrainContext(context.Background()) }
+
+// TrainContext is Train with cooperative cancellation: the context is
+// checked between training phases (after acquiring the train lock, between
+// per-modality codebook runs, and before the epoch install), so an aborted
+// run releases its partially built indexes and leaves the current epoch
+// serving, untouched. It is the engine half of the wire protocol's
+// deadline-aware Train.
+func (r *Repository) TrainContext(ctx context.Context) error {
 	sp := obs.StartSpan(r.met.reg, "repo/train")
 	defer sp.End()
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Phase 1 — open the changelog, then snapshot the store. Order matters:
 	// with the log installed first, a write racing the snapshot copy is also
@@ -414,6 +448,9 @@ func (r *Repository) Train() error {
 	// kept, so a later Train can pick up data that arrived since).
 	engines := make([]ModalityEngine, len(cur.engines))
 	for i, eng := range cur.engines {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sample := trainingSample(eng, snap, ids, r.opts.TrainingSampleCap)
 		if len(sample) == 0 {
 			engines[i] = eng
@@ -438,6 +475,12 @@ func (r *Repository) Train() error {
 	}
 	if hook := trainInstallHook; hook != nil {
 		hook()
+	}
+	if err := ctx.Err(); err != nil {
+		// Aborted after the expensive build: drop the fresh indexes, keep
+		// the current epoch serving.
+		closeIndexes(indexes, spillDirs)
+		return err
 	}
 
 	// Phase 4 — replay the writes that landed during training against the
@@ -606,6 +649,9 @@ func (r *Repository) Search(q *Query) ([]SearchHit, error) {
 func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchHit, error) {
 	if q.K <= 0 {
 		return nil, errors.New("core: query k must be positive")
+	}
+	if hook := searchStartHook; hook != nil {
+		hook()
 	}
 	sp := obs.StartSpan(r.met.reg, "repo/search")
 	defer sp.End()

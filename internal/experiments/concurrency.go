@@ -43,6 +43,9 @@ type ConcurrencyReport struct {
 	K        int                `json:"k"`
 	Levels   []ConcurrencyLevel `json:"levels"`
 	Overlap  TrainOverlap       `json:"train_overlap"`
+	// Wire holds the transport comparison (lockstep vs mux vs
+	// conn-per-client over TCP); filled by mie-bench -single-conn.
+	Wire *WireReport `json:"wire,omitempty"`
 }
 
 // ConcurrencyExperiment builds one trained MIE repository and measures
@@ -242,4 +245,14 @@ func WriteConcurrencyReport(w io.Writer, r *ConcurrencyReport) {
 	o := r.Overlap
 	fmt.Fprintf(w, "  during Train (%.1f ms, %d clients): %d searches completed, p50=%.3f ms p95=%.3f ms p99=%.3f ms max=%.3f ms\n",
 		o.TrainMs, o.Clients, o.Searches, o.P50Ms, o.P95Ms, o.P99Ms, o.MaxSearchMs)
+	if r.Wire == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nWire transports over TCP (simulated RTT %.1f ms)\n", r.Wire.SimulatedRTTMs)
+	fmt.Fprintf(w, "  %-26s %-8s %-12s %-9s %-9s %-9s\n", "mode", "clients", "qps", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, lv := range r.Wire.Levels {
+		fmt.Fprintf(w, "  %-26s %-8d %-12.1f %-9.3f %-9.3f %-9.3f\n",
+			lv.Mode, lv.Clients, lv.ThroughputQPS, lv.P50Ms, lv.P95Ms, lv.P99Ms)
+	}
+	fmt.Fprintf(w, "  v2 mux / v1 lockstep throughput at the top level: %.2fx\n", r.Wire.MuxOverLockstep)
 }

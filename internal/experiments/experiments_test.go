@@ -260,3 +260,36 @@ func TestConcurrencyExperimentShape(t *testing.T) {
 		t.Error("report header missing")
 	}
 }
+
+func TestWireConcurrencyExperimentShape(t *testing.T) {
+	report, err := WireConcurrencyExperiment(Quick(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Levels) != 3 {
+		t.Fatalf("levels = %d, want one per transport mode", len(report.Levels))
+	}
+	seen := map[string]WireLevel{}
+	for _, lv := range report.Levels {
+		if lv.Clients != 2 || lv.Searches == 0 || lv.ThroughputQPS <= 0 {
+			t.Errorf("%s: empty measurements: %+v", lv.Mode, lv)
+		}
+		seen[lv.Mode] = lv
+	}
+	for _, mode := range []string{ModeLockstep, ModeMux, ModeConnPerClient} {
+		if _, ok := seen[mode]; !ok {
+			t.Errorf("mode %s missing from report", mode)
+		}
+	}
+	// With 2 clients pipelining over a link with real RTT the mux must
+	// already beat lockstep; the full >=2x-at-16 claim is recorded by
+	// mie-bench -single-conn in BENCH_concurrency.json.
+	if report.MuxOverLockstep <= 1 {
+		t.Errorf("mux/lockstep = %.2f, want > 1", report.MuxOverLockstep)
+	}
+	var buf strings.Builder
+	WriteConcurrencyReport(&buf, &ConcurrencyReport{Wire: report})
+	if !strings.Contains(buf.String(), "Wire transports") {
+		t.Error("wire section missing from report text")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -43,7 +44,7 @@ func MultiUserExperiment(cfg Config) ([]MultiUserRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := bootstrap.CreateRepository("fig4", wireOpts(cfg)); err != nil {
+	if err := bootstrap.CreateRepository(context.Background(), "fig4", wireOpts(cfg)); err != nil {
 		return nil, err
 	}
 	if err := bootstrap.Close(); err != nil {
@@ -99,7 +100,7 @@ func runMultiUserClient(cfg Config, addr string, p device.Profile, id int) (Mult
 		if err != nil {
 			return MultiUserRow{}, err
 		}
-		if err := conn.Update("fig4", up); err != nil {
+		if err := conn.Update(context.Background(), "fig4", up); err != nil {
 			return MultiUserRow{}, err
 		}
 	}

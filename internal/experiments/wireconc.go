@@ -1,0 +1,329 @@
+package experiments
+
+// Wire-transport concurrency comparison: the same search workload pushed
+// through the three client transports — the v1 lockstep protocol on one
+// shared connection, the v2 pipelined mux on one shared connection, and
+// one v2 connection per client — over real TCP with the paper's WAN link
+// simulated in between. It quantifies the claim behind wire protocol v2:
+// a single multiplexed connection should match connection-per-client
+// throughput and beat lockstep by at least the in-flight factor once the
+// link has latency to hide.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mie/internal/client"
+	"mie/internal/core"
+	"mie/internal/dataset"
+	"mie/internal/dpe"
+	"mie/internal/imaging"
+	"mie/internal/server"
+)
+
+// Wire transport modes, the values of WireLevel.Mode.
+const (
+	ModeLockstep      = "v1-lockstep-single-conn"
+	ModeMux           = "v2-mux-single-conn"
+	ModeConnPerClient = "v2-conn-per-client"
+)
+
+// WireLevel is one (transport, clients) cell of the comparison.
+type WireLevel struct {
+	Mode          string  `json:"mode"`
+	Clients       int     `json:"clients"`
+	Searches      int     `json:"searches"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// WireReport is the wire section of BENCH_concurrency.json.
+type WireReport struct {
+	// SimulatedRTTMs is the round-trip time the latency relay injects
+	// between client and server, standing in for the paper's client<->EC2
+	// link (§VII reports 52.16 ms; the bench default is smaller to keep
+	// the lockstep rows affordable).
+	SimulatedRTTMs float64     `json:"simulated_rtt_ms"`
+	Levels         []WireLevel `json:"levels"`
+	// MuxOverLockstep is the v2-mux / v1-lockstep throughput ratio at the
+	// highest client level — the headline number for the protocol change.
+	MuxOverLockstep float64 `json:"mux_over_lockstep"`
+}
+
+// wireRTT is the simulated round trip injected by the relay. Large enough
+// that transport behavior (serialized vs pipelined round trips) dominates
+// scheduling noise, small enough that the 16-client lockstep row stays
+// cheap. The paper's measured RTT is 52.16 ms; ratios are what matter here.
+const wireRTT = 6 * time.Millisecond
+
+// WireConcurrencyExperiment builds one trained repository behind a real
+// TCP server, then measures search throughput through a latency-injecting
+// relay for each transport mode at each client level.
+func WireConcurrencyExperiment(cfg Config, levels []int) (*WireReport, error) {
+	const perClient = 25
+	ctx := context.Background()
+
+	svc := core.NewService()
+	srv, err := server.New("127.0.0.1:0", svc, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = srv.Close() }() // result does not depend on teardown
+
+	cc, err := core.NewClient(core.ClientConfig{
+		Key:     core.RepositoryKey{Master: masterKey(1)},
+		Dense:   dpe.DenseParams{InDim: imaging.DescriptorDim, OutDim: 512, Threshold: 0.5},
+		Pyramid: cfg.pyramid(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Setup (create, upload, train) goes straight to the server — only the
+	// measured searches pay the simulated WAN.
+	const repoID = "wireconc"
+	bootstrap, err := client.Dial(srv.Addr(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := bootstrap.CreateRepository(ctx, repoID, wireOpts(cfg)); err != nil {
+		return nil, err
+	}
+	corpus := dataset.Flickr(dataset.FlickrParams{
+		N:         cfg.SearchRepoSize,
+		ImageSize: cfg.ImageSize,
+		Seed:      cfg.Seed,
+	})
+	for _, obj := range corpus {
+		up, err := cc.PrepareUpdate(obj, dataKey())
+		if err != nil {
+			return nil, err
+		}
+		if err := bootstrap.Update(ctx, repoID, up); err != nil {
+			return nil, err
+		}
+	}
+	if err := bootstrap.Train(ctx, repoID); err != nil {
+		return nil, err
+	}
+	if err := bootstrap.Close(); err != nil {
+		return nil, err
+	}
+
+	queryObjs := dataset.Flickr(dataset.FlickrParams{
+		N:         8,
+		ImageSize: cfg.ImageSize,
+		Seed:      cfg.Seed + 999,
+	})
+	queries := make([]*core.Query, len(queryObjs))
+	for i, obj := range queryObjs {
+		if queries[i], err = cc.PrepareQuery(obj, cfg.K); err != nil {
+			return nil, err
+		}
+	}
+
+	relay, err := newLatencyRelay(srv.Addr(), wireRTT/2)
+	if err != nil {
+		return nil, err
+	}
+	defer relay.Close()
+
+	report := &WireReport{SimulatedRTTMs: ms(wireRTT)}
+	for _, n := range levels {
+		for _, mode := range []string{ModeLockstep, ModeMux, ModeConnPerClient} {
+			lv, err := wireLevel(mode, relay.Addr(), repoID, queries, n, perClient)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%d clients: %w", mode, n, err)
+			}
+			report.Levels = append(report.Levels, lv)
+		}
+	}
+	if n := len(levels); n > 0 {
+		top := levels[n-1]
+		var lockstep, mux float64
+		for _, lv := range report.Levels {
+			if lv.Clients != top {
+				continue
+			}
+			switch lv.Mode {
+			case ModeLockstep:
+				lockstep = lv.ThroughputQPS
+			case ModeMux:
+				mux = lv.ThroughputQPS
+			}
+		}
+		if lockstep > 0 {
+			report.MuxOverLockstep = mux / lockstep
+		}
+	}
+	return report, nil
+}
+
+// wireLevel runs n clients, perClient searches each, through one transport
+// mode. Lockstep and mux share a single connection; conn-per-client dials
+// one per worker.
+func wireLevel(mode, addr, repoID string, queries []*core.Query, n, perClient int) (WireLevel, error) {
+	ctx := context.Background()
+	var shared *client.Conn
+	var err error
+	switch mode {
+	case ModeLockstep:
+		shared, err = client.Dial(addr, nil, client.WithLockstep())
+	case ModeMux:
+		shared, err = client.Dial(addr, nil)
+	}
+	if err != nil {
+		return WireLevel{}, err
+	}
+	if shared != nil {
+		defer func() { _ = shared.Close() }()
+	}
+
+	conns := make([]*client.Conn, n)
+	for c := range conns {
+		if shared != nil {
+			conns[c] = shared
+			continue
+		}
+		if conns[c], err = client.Dial(addr, nil); err != nil {
+			return WireLevel{}, err
+		}
+		defer func(c *client.Conn) { _ = c.Close() }(conns[c])
+	}
+
+	durations := make([][]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				t0 := time.Now()
+				if _, err := conns[c].Search(ctx, repoID, q); err != nil {
+					errs[c] = err
+					return
+				}
+				durations[c] = append(durations[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return WireLevel{}, err
+		}
+	}
+	var all []time.Duration
+	for _, ds := range durations {
+		all = append(all, ds...)
+	}
+	return WireLevel{
+		Mode:          mode,
+		Clients:       n,
+		Searches:      len(all),
+		ThroughputQPS: float64(len(all)) / wall.Seconds(),
+		P50Ms:         percentileMs(all, 0.50),
+		P95Ms:         percentileMs(all, 0.95),
+		P99Ms:         percentileMs(all, 0.99),
+	}, nil
+}
+
+// latencyRelay is a TCP forwarder that delays every byte burst by a fixed
+// one-way latency in each direction — the userspace equivalent of `tc
+// netem delay`. Crucially it keeps reading while earlier bursts are still
+// queued for delivery, so pipelined traffic overlaps its round trips the
+// way it would on a real long-haul link, while a lockstep exchange pays
+// the full RTT per request.
+type latencyRelay struct {
+	ln     net.Listener
+	target string
+	delay  time.Duration
+	wg     sync.WaitGroup
+}
+
+func newLatencyRelay(target string, delay time.Duration) (*latencyRelay, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r := &latencyRelay{ln: ln, target: target, delay: delay}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+func (r *latencyRelay) Addr() string { return r.ln.Addr().String() }
+
+func (r *latencyRelay) Close() {
+	_ = r.ln.Close()
+	r.wg.Wait()
+}
+
+func (r *latencyRelay) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		upstream, err := net.Dial("tcp", r.target)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		r.wg.Add(2)
+		go r.pipe(upstream, conn)
+		go r.pipe(conn, upstream)
+	}
+}
+
+// pipe copies src to dst, delivering each burst r.delay after it was read.
+// A reader goroutine timestamps bursts into a deep queue so reading never
+// stalls behind delivery.
+func (r *latencyRelay) pipe(dst, src net.Conn) {
+	defer r.wg.Done()
+	type burst struct {
+		due  time.Time
+		data []byte
+	}
+	ch := make(chan burst, 4096)
+	go func() {
+		defer close(ch)
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				data := make([]byte, n)
+				copy(data, buf[:n])
+				ch <- burst{due: time.Now().Add(r.delay), data: data}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for b := range ch {
+		if d := time.Until(b.due); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := dst.Write(b.data); err != nil {
+			break
+		}
+	}
+	// Half-close so the peer sees EOF once the source side is done; full
+	// close tears down the paired pipe's reader too, which is fine after
+	// the workload completes.
+	_ = dst.Close()
+	_ = src.Close()
+	for range ch { // drain so the reader goroutine exits
+	}
+}

@@ -49,30 +49,30 @@ func TestAuthorizerDeniesEveryKind(t *testing.T) {
 	conn := dial(t, srv, nil)
 	cc := newCoreClient(t, nil)
 
-	if err := conn.CreateRepository("locked", smallOpts()); err == nil || !strings.Contains(err.Error(), "denied") {
+	if err := conn.CreateRepository(testCtx, "locked", smallOpts()); err == nil || !strings.Contains(err.Error(), "denied") {
 		t.Errorf("create-repo deny: err = %v", err)
 	}
-	if err := conn.Train("locked"); err == nil || !strings.Contains(err.Error(), "denied") {
+	if err := conn.Train(testCtx, "locked"); err == nil || !strings.Contains(err.Error(), "denied") {
 		t.Errorf("train deny: err = %v", err)
 	}
 	up, err := cc.PrepareUpdate(&core.Object{ID: "o", Owner: "eve", Text: "secret"}, dataKey())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.Update("locked", up); err == nil || !strings.Contains(err.Error(), "denied") {
+	if err := conn.Update(testCtx, "locked", up); err == nil || !strings.Contains(err.Error(), "denied") {
 		t.Errorf("update deny: err = %v", err)
 	}
-	if err := conn.Remove("locked", "o"); err == nil || !strings.Contains(err.Error(), "denied") {
+	if err := conn.Remove(testCtx, "locked", "o"); err == nil || !strings.Contains(err.Error(), "denied") {
 		t.Errorf("remove deny: err = %v", err)
 	}
 	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "secret"}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Search("locked", q); err == nil || !strings.Contains(err.Error(), "denied") {
+	if _, err := conn.Search(testCtx, "locked", q); err == nil || !strings.Contains(err.Error(), "denied") {
 		t.Errorf("search deny: err = %v", err)
 	}
-	if _, _, err := conn.Get("locked", "o"); err == nil || !strings.Contains(err.Error(), "denied") {
+	if _, _, err := conn.Get(testCtx, "locked", "o"); err == nil || !strings.Contains(err.Error(), "denied") {
 		t.Errorf("get deny: err = %v", err)
 	}
 
@@ -277,7 +277,7 @@ func TestMetricsEndpointReflectsSearchRoundTrip(t *testing.T) {
 
 	conn := dial(t, srv, nil)
 	cc := newCoreClient(t, nil)
-	if err := conn.CreateRepository("metrics-e2e", smallOpts()); err != nil {
+	if err := conn.CreateRepository(testCtx, "metrics-e2e", smallOpts()); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
@@ -291,18 +291,18 @@ func TestMetricsEndpointReflectsSearchRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := conn.Update("metrics-e2e", up); err != nil {
+		if err := conn.Update(testCtx, "metrics-e2e", up); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := conn.Train("metrics-e2e"); err != nil {
+	if err := conn.Train(testCtx, "metrics-e2e"); err != nil {
 		t.Fatal(err)
 	}
 	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "beach sunset"}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Search("metrics-e2e", q); err != nil {
+	if _, err := conn.Search(testCtx, "metrics-e2e", q); err != nil {
 		t.Fatal(err)
 	}
 

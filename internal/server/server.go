@@ -1,17 +1,29 @@
 // Package server exposes the MIE cloud component (core.Service) over TCP
 // using the wire protocol: the "MIE Server Component (as a Service)" box of
-// Figure 1. Each accepted connection is served by its own goroutine; the
-// underlying engine is already safe for the concurrent multi-user access
-// the system model requires.
+// Figure 1. Each accepted connection is served by its own goroutine, and —
+// protocol v2 — each request on a connection is dispatched on its own
+// goroutine with a context.Context derived from the request's wire deadline,
+// so 16 pipelined searches from one phone proceed concurrently and a Cancel
+// frame can abandon any of them mid-flight. Requests framed by a v1 peer
+// (Envelope.ID zero) are served inline in lockstep, preserving the old
+// one-request-per-connection semantics without negotiation.
 //
-// The server is fully instrumented: per-kind request/error counters, an
-// in-flight gauge, wire-level byte counters, per-kind latency histograms and
-// rpc/<kind>/<phase> spans (decode -> authorize -> engine -> reply) all land
-// in an obs.Registry, so the cloud half of the paper's latency breakdowns is
-// observable on live traffic via the -debug-addr endpoint.
+// Training is asynchronous: TrainStart launches a server-side job backed by
+// core's job table and returns immediately; TrainStatus/TrainWait poll or
+// await it. The v1 blocking Train kind is implemented on top of the same
+// jobs, so a v1 client still observes its old semantics while the engine
+// never ties a training run's lifetime to a socket.
+//
+// The server is fully instrumented: per-kind request/error counters,
+// in-flight gauges (total and per kind), wire-level byte counters, per-kind
+// latency histograms, cancel-frame counters and rpc/<kind>/<phase> spans
+// (decode -> authorize -> engine -> reply) all land in an obs.Registry, so
+// the cloud half of the paper's latency breakdowns is observable on live
+// traffic via the -debug-addr endpoint.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -63,6 +75,8 @@ type serverMetrics struct {
 	txBytes      *obs.Counter
 	malformed    *obs.Counter
 	readErrors   *obs.Counter
+	cancelFrames *obs.Counter
+	cancelHits   *obs.Counter
 }
 
 // Server hosts a core.Service on a TCP listener.
@@ -123,6 +137,8 @@ func (s *Server) initMetrics() {
 		txBytes:      s.reg.Counter("server_tx_bytes_total"),
 		malformed:    s.reg.Counter("server_malformed_frames_total"),
 		readErrors:   s.reg.Counter("server_read_errors_total"),
+		cancelFrames: s.reg.Counter("server_cancel_frames_total"),
+		cancelHits:   s.reg.Counter("server_cancel_hits_total"),
 	}
 }
 
@@ -130,7 +146,9 @@ func (s *Server) initMetrics() {
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
 // Close stops accepting, closes open connections and waits for handler
-// goroutines to exit.
+// goroutines to exit. In-flight request contexts are canceled, so handlers
+// blocked in TrainWait return promptly; training jobs themselves keep
+// running to completion (they belong to the repository, not the socket).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -194,18 +212,88 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connState is the per-connection multiplexing state: a write lock
+// serializing response frames from concurrent handlers, the connection-
+// scoped base context, and the table of in-flight request cancel functions
+// a Cancel frame indexes into.
+type connState struct {
+	conn   net.Conn
+	remote string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wmu sync.Mutex // serializes frame writes from handler goroutines
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelFunc
+	handlers sync.WaitGroup
+}
+
+// write sends one response frame, echoing the request id, under the
+// connection's write lock. Returns bytes written.
+func (cs *connState) write(id uint64, kind string, payload interface{}) (int, error) {
+	env, err := wire.NewEnvelope(kind, "", id, 0, payload)
+	if err != nil {
+		return 0, err
+	}
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	return wire.WriteEnvelope(cs.conn, env)
+}
+
+// register installs a cancel function for an in-flight request id.
+func (cs *connState) register(id uint64, cancel context.CancelFunc) {
+	if id == 0 {
+		return // v1 requests cannot be addressed by Cancel frames
+	}
+	cs.mu.Lock()
+	cs.inflight[id] = cancel
+	cs.mu.Unlock()
+}
+
+// unregister removes an in-flight entry.
+func (cs *connState) unregister(id uint64) {
+	if id == 0 {
+		return
+	}
+	cs.mu.Lock()
+	delete(cs.inflight, id)
+	cs.mu.Unlock()
+}
+
+// cancelRequest fires the cancel function of an in-flight request, if the
+// id names one. Reports whether it hit.
+func (cs *connState) cancelRequest(id uint64) bool {
+	cs.mu.Lock()
+	cancel, ok := cs.inflight[id]
+	cs.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	s.met.connsOpened.Inc()
 	s.met.connsActive.Add(1)
+	cs := &connState{
+		conn:     conn,
+		remote:   conn.RemoteAddr().String(),
+		inflight: make(map[uint64]context.CancelFunc),
+	}
+	cs.ctx, cs.cancel = context.WithCancel(context.Background())
 	defer func() {
+		// Unblock handlers first (TrainWait etc.), then wait for them so no
+		// goroutine writes to a map or conn we are tearing down.
+		cs.cancel()
+		cs.handlers.Wait()
 		s.met.connsActive.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close() // double-close on shutdown path is harmless
 	}()
-	remote := conn.RemoteAddr().String()
 	for {
 		env, n, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -214,38 +302,98 @@ func (s *Server) serveConn(conn net.Conn) {
 			// is a transport failure. Each gets its own counter and level.
 			switch {
 			case errors.Is(err, io.EOF):
-				s.logger.Debug("client disconnected", "remote", remote)
+				s.logger.Debug("client disconnected", "remote", cs.remote)
 			case wire.IsMalformed(err):
 				s.met.malformed.Inc()
-				s.logger.Warn("malformed frame; dropping connection", "remote", remote, "err", err)
+				s.logger.Warn("malformed frame; dropping connection", "remote", cs.remote, "err", err)
 			case s.isClosed() || errors.Is(err, net.ErrClosed):
-				s.logger.Debug("connection closed during shutdown", "remote", remote)
+				s.logger.Debug("connection closed during shutdown", "remote", cs.remote)
 			default:
 				s.met.readErrors.Inc()
-				s.logger.Info("read failed", "remote", remote, "err", err)
+				s.logger.Info("read failed", "remote", cs.remote, "err", err)
 			}
 			return
 		}
 		s.met.rxBytes.Add(int64(n))
-		if err := s.dispatch(conn, env); err != nil {
-			s.logger.Info("reply failed", "remote", remote, "err", err)
-			return
+		switch {
+		case env.Kind == wire.KindHello:
+			// Version negotiation: always answer v2 (a v1 server would have
+			// answered KindError, which is the client's fallback signal).
+			s.reg.Counter(obs.L("server_requests_total", "kind", env.Kind)).Inc()
+			wn, werr := cs.write(env.ID, wire.KindHelloResp, wire.HelloResp{Version: wire.ProtocolV2})
+			s.met.txBytes.Add(int64(wn))
+			if werr != nil {
+				s.logger.Info("hello reply failed", "remote", cs.remote, "err", werr)
+				return
+			}
+		case env.Kind == wire.KindCancel:
+			// Fire-and-forget: cancel the in-flight request, send nothing.
+			s.met.cancelFrames.Inc()
+			var req wire.CancelReq
+			if err := env.Decode(&req); err != nil {
+				s.logger.Debug("bad cancel frame", "remote", cs.remote, "err", err)
+				continue
+			}
+			if cs.cancelRequest(req.ID) {
+				s.met.cancelHits.Inc()
+				s.logger.Debug("request canceled", "remote", cs.remote, "id", req.ID)
+			}
+		case env.ID == 0:
+			// v1 lockstep framing: handle inline so the response is written
+			// before the next request is read, exactly as protocol v1
+			// promises its peers.
+			if err := s.handle(cs, env); err != nil {
+				s.logger.Info("reply failed", "remote", cs.remote, "err", err)
+				return
+			}
+		default:
+			// v2 multiplexed framing: each request runs on its own goroutine;
+			// the write lock inside connState serializes response frames.
+			cs.handlers.Add(1)
+			go func(env *wire.Envelope) {
+				defer cs.handlers.Done()
+				if err := s.handle(cs, env); err != nil {
+					s.logger.Info("reply failed", "remote", cs.remote, "id", env.ID, "err", err)
+				}
+			}(env)
 		}
 	}
 }
 
-// dispatch handles one request and writes exactly one response frame. Every
+// handle dispatches one request and writes exactly one response frame. Every
 // request is counted, timed per kind, and decomposed into
-// decode -> authorize -> engine -> reply phase spans.
-func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
+// decode -> authorize -> engine -> reply phase spans. The request context is
+// derived from the connection (canceled at teardown), bounded by the wire
+// deadline, and registered under the request id so Cancel frames reach it.
+func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 	kind := env.Kind
 	s.reg.Counter(obs.L("server_requests_total", "kind", kind)).Inc()
 	s.met.inflight.Add(1)
-	defer s.met.inflight.Add(-1)
+	kindInflight := s.reg.Gauge(obs.L("server_inflight_requests", "kind", kind))
+	kindInflight.Add(1)
+	defer func() {
+		s.met.inflight.Add(-1)
+		kindInflight.Add(-1)
+	}()
+
+	ctx := cs.ctx
+	var cancel context.CancelFunc
+	if d, ok := env.Timeout(); ok {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	cs.register(env.ID, cancel)
+	defer cs.unregister(env.ID)
+
 	sp := obs.StartSpan(s.reg, "rpc/"+kind)
 	defer func() {
 		s.reg.Histogram(obs.L("server_request_seconds", "kind", kind)).Observe(sp.End().Seconds())
 	}()
+	if s.logger.Enabled(obs.LevelDebug) {
+		s.logger.Debug("request", "remote", cs.remote, "id", env.ID, "kind", kind)
+	}
 
 	switch kind {
 	case wire.KindCreateRepo:
@@ -255,13 +403,18 @@ func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
 			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
 		if err == nil {
+			err = ctx.Err()
+		}
+		if err == nil {
 			sp.Time("engine", func() {
 				_, err = s.svc.CreateRepository(req.RepoID, req.Opts.ToCore())
 			})
 		}
-		return s.writeAck(sp, kind, conn, err)
+		return s.writeAck(sp, kind, cs, env.ID, err)
 
 	case wire.KindTrain:
+		// v1 blocking semantics on top of the async job table: start (or
+		// join) a job, then wait for it under the request context.
 		var req wire.TrainReq
 		err := s.decode(sp, env, &req)
 		if err == nil {
@@ -271,17 +424,67 @@ func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
 			sp.Time("engine", func() {
 				var repo *core.Repository
 				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					err = repo.Train()
+					var st core.TrainJobStatus
+					if st, err = repo.TrainWait(ctx, repo.TrainStart()); err == nil && st.State == core.TrainFailed {
+						err = errors.New(st.Err)
+					}
 				}
 			})
 		}
-		return s.writeAck(sp, kind, conn, err)
+		return s.writeAck(sp, kind, cs, env.ID, err)
+
+	case wire.KindTrainStart:
+		var req wire.TrainReq
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
+		}
+		var st core.TrainJobStatus
+		if err == nil {
+			sp.Time("engine", func() {
+				var repo *core.Repository
+				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+					st, err = repo.TrainJob(repo.TrainStart())
+				}
+			})
+		}
+		return s.writeTrainJobResp(sp, kind, cs, env.ID, st, err)
+
+	case wire.KindTrainStatus, wire.KindTrainWait:
+		var req wire.TrainJobReq
+		err := s.decode(sp, env, &req)
+		if err == nil {
+			err = s.authorized(sp, req.RepoID, env.Auth)
+		}
+		var st core.TrainJobStatus
+		if err == nil {
+			sp.Time("engine", func() {
+				var repo *core.Repository
+				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+					if kind == wire.KindTrainStatus {
+						st, err = repo.TrainJob(req.JobID)
+					} else {
+						st, err = repo.TrainWait(ctx, req.JobID)
+						if err != nil && !errors.Is(err, core.ErrUnknownJob) && st.JobID != 0 {
+							// Deadline expired while the job still runs: not a
+							// request failure — report the running status and
+							// let the client decide whether to keep waiting.
+							err = nil
+						}
+					}
+				}
+			})
+		}
+		return s.writeTrainJobResp(sp, kind, cs, env.ID, st, err)
 
 	case wire.KindUpdate:
 		var req wire.UpdateReq
 		err := s.decode(sp, env, &req)
 		if err == nil {
 			err = s.authorized(sp, req.RepoID, env.Auth)
+		}
+		if err == nil {
+			err = ctx.Err()
 		}
 		if err == nil {
 			sp.Time("engine", func() {
@@ -291,13 +494,16 @@ func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
 				}
 			})
 		}
-		return s.writeAck(sp, kind, conn, err)
+		return s.writeAck(sp, kind, cs, env.ID, err)
 
 	case wire.KindRemove:
 		var req wire.RemoveReq
 		err := s.decode(sp, env, &req)
 		if err == nil {
 			err = s.authorized(sp, req.RepoID, env.Auth)
+		}
+		if err == nil {
+			err = ctx.Err()
 		}
 		if err == nil {
 			sp.Time("engine", func() {
@@ -307,7 +513,7 @@ func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
 				}
 			})
 		}
-		return s.writeAck(sp, kind, conn, err)
+		return s.writeAck(sp, kind, cs, env.ID, err)
 
 	case wire.KindSearch:
 		var req wire.SearchReq
@@ -317,14 +523,25 @@ func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
 			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
 		if err == nil {
+			// An already-expired deadline (or a Cancel frame that won the
+			// race) returns promptly without touching the engine — the
+			// "no RPC blocked behind training" guarantee.
+			err = ctx.Err()
+		}
+		if err == nil {
 			sp.Time("engine", func() {
 				var repo *core.Repository
 				if repo, err = s.svc.Repository(req.RepoID); err == nil {
 					hits, err = repo.Search(&req.Query)
 				}
 			})
+			if err == nil && ctx.Err() != nil {
+				// Canceled while the engine ran: the caller is gone; suppress
+				// the result so the (dropped) reply carries no hits.
+				hits, err = nil, ctx.Err()
+			}
 		}
-		return s.writeSearchResp(sp, kind, conn, hits, err)
+		return s.writeSearchResp(sp, kind, cs, env.ID, hits, err)
 
 	case wire.KindGet:
 		var req wire.GetReq
@@ -335,6 +552,9 @@ func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
 			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
 		if err == nil {
+			err = ctx.Err()
+		}
+		if err == nil {
 			sp.Time("engine", func() {
 				var repo *core.Repository
 				if repo, err = s.svc.Repository(req.RepoID); err == nil {
@@ -342,12 +562,12 @@ func (s *Server) dispatch(conn net.Conn, env *wire.Envelope) error {
 				}
 			})
 		}
-		return s.writeGetResp(sp, kind, conn, ct, owner, err)
+		return s.writeGetResp(sp, kind, cs, env.ID, ct, owner, err)
 
 	default:
 		s.countOpError(kind, errors.New("unknown kind"))
 		rsp := sp.Child("reply")
-		n, err := wire.WriteFrame(conn, wire.KindError, wire.Ack{Err: "unknown kind: " + kind})
+		n, err := cs.write(env.ID, wire.KindError, wire.Ack{Err: "unknown kind: " + kind})
 		s.met.txBytes.Add(int64(n))
 		rsp.End()
 		return err
@@ -387,7 +607,7 @@ func (s *Server) countOpError(kind string, err error) {
 	s.logger.Debug("request failed", "kind", kind, "err", err)
 }
 
-func (s *Server) writeAck(sp *obs.Span, kind string, conn net.Conn, err error) error {
+func (s *Server) writeAck(sp *obs.Span, kind string, cs *connState, id uint64, err error) error {
 	s.countOpError(kind, err)
 	rsp := sp.Child("reply")
 	defer rsp.End()
@@ -395,12 +615,12 @@ func (s *Server) writeAck(sp *obs.Span, kind string, conn net.Conn, err error) e
 	if err != nil {
 		ack.Err = err.Error()
 	}
-	n, werr := wire.WriteFrame(conn, wire.KindAck, ack)
+	n, werr := cs.write(id, wire.KindAck, ack)
 	s.met.txBytes.Add(int64(n))
 	return werr
 }
 
-func (s *Server) writeSearchResp(sp *obs.Span, kind string, conn net.Conn, hits []core.SearchHit, err error) error {
+func (s *Server) writeSearchResp(sp *obs.Span, kind string, cs *connState, id uint64, hits []core.SearchHit, err error) error {
 	s.countOpError(kind, err)
 	rsp := sp.Child("reply")
 	defer rsp.End()
@@ -408,12 +628,12 @@ func (s *Server) writeSearchResp(sp *obs.Span, kind string, conn net.Conn, hits 
 	if err != nil {
 		resp.Err = err.Error()
 	}
-	n, werr := wire.WriteFrame(conn, wire.KindSearchResp, resp)
+	n, werr := cs.write(id, wire.KindSearchResp, resp)
 	s.met.txBytes.Add(int64(n))
 	return werr
 }
 
-func (s *Server) writeGetResp(sp *obs.Span, kind string, conn net.Conn, ct []byte, owner string, err error) error {
+func (s *Server) writeGetResp(sp *obs.Span, kind string, cs *connState, id uint64, ct []byte, owner string, err error) error {
 	s.countOpError(kind, err)
 	rsp := sp.Child("reply")
 	defer rsp.End()
@@ -421,7 +641,25 @@ func (s *Server) writeGetResp(sp *obs.Span, kind string, conn net.Conn, ct []byt
 	if err != nil {
 		resp.Err = err.Error()
 	}
-	n, werr := wire.WriteFrame(conn, wire.KindGetResp, resp)
+	n, werr := cs.write(id, wire.KindGetResp, resp)
+	s.met.txBytes.Add(int64(n))
+	return werr
+}
+
+func (s *Server) writeTrainJobResp(sp *obs.Span, kind string, cs *connState, id uint64, st core.TrainJobStatus, err error) error {
+	s.countOpError(kind, err)
+	rsp := sp.Child("reply")
+	defer rsp.End()
+	resp := wire.TrainJobResp{Job: wire.TrainJobStatus{
+		JobID: st.JobID,
+		State: string(st.State),
+		Err:   st.Err,
+		Epoch: st.Epoch,
+	}}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	n, werr := cs.write(id, wire.KindTrainJobResp, resp)
 	s.met.txBytes.Add(int64(n))
 	return werr
 }

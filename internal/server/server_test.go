@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -18,6 +19,8 @@ import (
 	"mie/internal/imaging"
 	"mie/internal/wire"
 )
+
+var testCtx = context.Background()
 
 func repoKey() core.RepositoryKey {
 	var k crypto.Key
@@ -100,10 +103,10 @@ func TestEndToEndFlow(t *testing.T) {
 	conn := dial(t, srv, nil)
 	cc := newCoreClient(t, nil)
 
-	if err := conn.CreateRepository("photos", smallOpts()); err != nil {
+	if err := conn.CreateRepository(testCtx, "photos", smallOpts()); err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.CreateRepository("photos", smallOpts()); err == nil ||
+	if err := conn.CreateRepository(testCtx, "photos", smallOpts()); err == nil ||
 		!strings.Contains(err.Error(), "already exists") {
 		t.Errorf("duplicate create err = %v", err)
 	}
@@ -122,14 +125,14 @@ func TestEndToEndFlow(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := conn.Update("photos", up); err != nil {
+			if err := conn.Update(testCtx, "photos", up); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 
 	// Train in the cloud.
-	if err := conn.Train("photos"); err != nil {
+	if err := conn.Train(testCtx, "photos"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -138,7 +141,7 @@ func TestEndToEndFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := conn.Search("photos", q)
+	hits, err := conn.Search(testCtx, "photos", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +159,7 @@ func TestEndToEndFlow(t *testing.T) {
 	}
 
 	// Fetch and decrypt one object.
-	ct, owner, err := conn.Get("photos", hits[0].ObjectID)
+	ct, owner, err := conn.Get(testCtx, "photos", hits[0].ObjectID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,10 +175,10 @@ func TestEndToEndFlow(t *testing.T) {
 	}
 
 	// Remove then verify gone.
-	if err := conn.Remove("photos", hits[0].ObjectID); err != nil {
+	if err := conn.Remove(testCtx, "photos", hits[0].ObjectID); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := conn.Get("photos", hits[0].ObjectID); err == nil {
+	if _, _, err := conn.Get(testCtx, "photos", hits[0].ObjectID); err == nil {
 		t.Error("removed object still retrievable")
 	}
 }
@@ -183,13 +186,13 @@ func TestEndToEndFlow(t *testing.T) {
 func TestServerErrorsPropagate(t *testing.T) {
 	srv := startServer(t)
 	conn := dial(t, srv, nil)
-	if err := conn.Train("missing-repo"); err == nil || !strings.Contains(err.Error(), "not found") {
+	if err := conn.Train(testCtx, "missing-repo"); err == nil || !strings.Contains(err.Error(), "not found") {
 		t.Errorf("train on missing repo: err = %v", err)
 	}
-	if _, err := conn.Search("missing-repo", &core.Query{K: 3}); err == nil {
+	if _, err := conn.Search(testCtx, "missing-repo", &core.Query{K: 3}); err == nil {
 		t.Error("search on missing repo should fail")
 	}
-	if _, _, err := conn.Get("missing-repo", "x"); err == nil {
+	if _, _, err := conn.Get(testCtx, "missing-repo", "x"); err == nil {
 		t.Error("get on missing repo should fail")
 	}
 }
@@ -203,7 +206,7 @@ func TestConcurrentClientsSharedRepository(t *testing.T) {
 	connB := dial(t, srv, nil)
 	cc := newCoreClient(t, nil)
 
-	if err := connA.CreateRepository("shared", smallOpts()); err != nil {
+	if err := connA.CreateRepository(testCtx, "shared", smallOpts()); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -221,7 +224,7 @@ func TestConcurrentClientsSharedRepository(t *testing.T) {
 				errs <- err
 				return
 			}
-			if err := conn.Update("shared", up); err != nil {
+			if err := conn.Update(testCtx, "shared", up); err != nil {
 				errs <- err
 				return
 			}
@@ -240,7 +243,7 @@ func TestConcurrentClientsSharedRepository(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := connA.Search("shared", q)
+	hits, err := connA.Search(testCtx, "shared", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +257,7 @@ func TestMeterAccountsNetworkBytes(t *testing.T) {
 	meter := device.NewMeter(device.Mobile)
 	conn := dial(t, srv, meter)
 	cc := newCoreClient(t, nil)
-	if err := conn.CreateRepository("m", smallOpts()); err != nil {
+	if err := conn.CreateRepository(testCtx, "m", smallOpts()); err != nil {
 		t.Fatal(err)
 	}
 	obj := &core.Object{ID: "o", Owner: "u", Text: "metered upload", Image: classImage(0, 0)}
@@ -262,7 +265,7 @@ func TestMeterAccountsNetworkBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.Update("m", up); err != nil {
+	if err := conn.Update(testCtx, "m", up); err != nil {
 		t.Fatal(err)
 	}
 	upB, _ := meter.Bytes(device.Network)
@@ -291,7 +294,7 @@ func TestMalformedFrameClosesConnection(t *testing.T) {
 	}
 	// Server still serves new connections.
 	conn := dial(t, srv, nil)
-	if err := conn.CreateRepository("after", smallOpts()); err != nil {
+	if err := conn.CreateRepository(testCtx, "after", smallOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -347,7 +350,7 @@ func TestAuthorizerGatesRequests(t *testing.T) {
 	conn := dial(t, srv, nil)
 
 	// No token: everything is denied.
-	if err := conn.CreateRepository("locked", smallOpts()); err == nil {
+	if err := conn.CreateRepository(testCtx, "locked", smallOpts()); err == nil {
 		t.Fatal("unauthenticated create succeeded")
 	}
 
@@ -357,7 +360,7 @@ func TestAuthorizerGatesRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn.SetToken(tok.Encode())
-	if err := conn.CreateRepository("locked", smallOpts()); err != nil {
+	if err := conn.CreateRepository(testCtx, "locked", smallOpts()); err != nil {
 		t.Fatalf("authorized create failed: %v", err)
 	}
 	cc := newCoreClient(t, nil)
@@ -365,7 +368,7 @@ func TestAuthorizerGatesRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.Update("locked", up); err != nil {
+	if err := conn.Update(testCtx, "locked", up); err != nil {
 		t.Fatalf("authorized update failed: %v", err)
 	}
 
@@ -380,14 +383,14 @@ func TestAuthorizerGatesRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn2.Search("locked", q); err == nil ||
+	if _, err := conn2.Search(testCtx, "locked", q); err == nil ||
 		!strings.Contains(err.Error(), "different repository") {
 		t.Errorf("cross-repo token: err = %v", err)
 	}
 
 	// Revocation takes effect immediately.
 	authority.Revoke(tok)
-	if err := conn.Train("locked"); err == nil || !strings.Contains(err.Error(), "revoked") {
+	if err := conn.Train(testCtx, "locked"); err == nil || !strings.Contains(err.Error(), "revoked") {
 		t.Errorf("revoked token still admitted: err = %v", err)
 	}
 }
@@ -401,7 +404,7 @@ func TestSearchServedWhileTrainRPCInFlight(t *testing.T) {
 	conn := dial(t, srv, nil)
 	cc := newCoreClient(t, nil)
 
-	if err := conn.CreateRepository("live", smallOpts()); err != nil {
+	if err := conn.CreateRepository(testCtx, "live", smallOpts()); err != nil {
 		t.Fatal(err)
 	}
 	topics := []string{"beach sand ocean", "mountain snow peaks", "city night lights"}
@@ -417,12 +420,12 @@ func TestSearchServedWhileTrainRPCInFlight(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := conn.Update("live", up); err != nil {
+			if err := conn.Update(testCtx, "live", up); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if err := conn.Train("live"); err != nil {
+	if err := conn.Train(testCtx, "live"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -437,7 +440,7 @@ func TestSearchServedWhileTrainRPCInFlight(t *testing.T) {
 	t.Cleanup(func() { core.SetTrainInstallHookForTest(nil) })
 
 	trainDone := make(chan error, 1)
-	go func() { trainDone <- conn.Train("live") }()
+	go func() { trainDone <- conn.Train(testCtx, "live") }()
 	<-reached
 
 	// A separate connection's requests are served while the Train RPC is
@@ -447,7 +450,7 @@ func TestSearchServedWhileTrainRPCInFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := conn2.Search("live", q)
+	hits, err := conn2.Search(testCtx, "live", q)
 	if err != nil {
 		t.Fatalf("search during train RPC: %v", err)
 	}
@@ -458,10 +461,10 @@ func TestSearchServedWhileTrainRPCInFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conn2.Update("live", up); err != nil {
+	if err := conn2.Update(testCtx, "live", up); err != nil {
 		t.Fatalf("update during train RPC: %v", err)
 	}
-	if _, _, err := conn2.Get("live", hits[0].ObjectID); err != nil {
+	if _, _, err := conn2.Get(testCtx, "live", hits[0].ObjectID); err != nil {
 		t.Fatalf("get during train RPC: %v", err)
 	}
 	select {
@@ -475,7 +478,7 @@ func TestSearchServedWhileTrainRPCInFlight(t *testing.T) {
 		t.Fatalf("train: %v", err)
 	}
 	// The mid-train update survived the epoch swap via changelog replay.
-	hits, err = conn2.Search("live", q)
+	hits, err = conn2.Search(testCtx, "live", q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mie/internal/client"
+	"mie/internal/core"
+	"mie/internal/obs"
+	"mie/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Cross-version: a protocol-v1 client against the v2 server.
+//
+// v1Conn vendors the pre-v2 client verbatim in miniature: an ID-less
+// three-field envelope, hand-rolled length-prefixed framing, no hello, one
+// lockstep request at a time. It must keep working against today's server
+// without any compatibility shims in the production code.
+// ---------------------------------------------------------------------------
+
+// v1Envelope is the wire envelope exactly as protocol v1 defined it.
+type v1Envelope struct {
+	Kind string
+	Auth string
+	Data []byte
+}
+
+type v1Conn struct {
+	mu  sync.Mutex
+	tcp net.Conn
+}
+
+func dialV1(t *testing.T, addr string) *v1Conn {
+	t.Helper()
+	tcp, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tcp.Close() })
+	return &v1Conn{tcp: tcp}
+}
+
+func (c *v1Conn) roundTrip(kind string, req, resp interface{}) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
+		return err
+	}
+	var frame bytes.Buffer
+	if err := gob.NewEncoder(&frame).Encode(v1Envelope{Kind: kind, Data: body.Bytes()}); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(frame.Len()))
+	if _, err := c.tcp.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.tcp.Write(frame.Bytes()); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(c.tcp, hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(c.tcp, buf); err != nil {
+		return err
+	}
+	var env v1Envelope
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&env); err != nil {
+		return err
+	}
+	if env.Kind == wire.KindError {
+		return errors.New("v1: server error response")
+	}
+	return gob.NewDecoder(bytes.NewReader(env.Data)).Decode(resp)
+}
+
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	srv := startServer(t)
+	cc := newCoreClient(t, nil)
+	v1 := dialV1(t, srv.Addr())
+
+	var ack wire.Ack
+	if err := v1.roundTrip(wire.KindCreateRepo, wire.CreateRepoReq{RepoID: "legacy", Opts: smallOpts()}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err != "" {
+		t.Fatalf("create: %s", ack.Err)
+	}
+	for cls := 0; cls < 2; cls++ {
+		for i := 0; i < 3; i++ {
+			obj := &core.Object{
+				ID:    fmt.Sprintf("v1-c%d-%d", cls, i),
+				Owner: "alice",
+				Text:  []string{"beach sand ocean", "mountain snow peaks"}[cls],
+				Image: classImage(cls, int64(i)),
+			}
+			up, err := cc.PrepareUpdate(obj, dataKey())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ack = wire.Ack{}
+			if err := v1.roundTrip(wire.KindUpdate, wire.UpdateReq{RepoID: "legacy", Update: *up}, &ack); err != nil {
+				t.Fatal(err)
+			}
+			if ack.Err != "" {
+				t.Fatalf("update: %s", ack.Err)
+			}
+		}
+	}
+	// v1 Train is synchronous: the ack arrives only once training completed.
+	ack = wire.Ack{}
+	if err := v1.roundTrip(wire.KindTrain, wire.TrainReq{RepoID: "legacy"}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err != "" {
+		t.Fatalf("train: %s", ack.Err)
+	}
+	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "mountain peaks", Image: classImage(1, 99)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr wire.SearchResp
+	if err := v1.roundTrip(wire.KindSearch, wire.SearchReq{RepoID: "legacy", Query: *q}, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Err != "" {
+		t.Fatalf("search: %s", sr.Err)
+	}
+	if len(sr.Hits) == 0 {
+		t.Fatal("v1 search found nothing")
+	}
+	var gr wire.GetResp
+	if err := v1.roundTrip(wire.KindGet, wire.GetReq{RepoID: "legacy", ObjectID: sr.Hits[0].ObjectID}, &gr); err != nil {
+		t.Fatal(err)
+	}
+	if gr.Err != "" || gr.Owner != "alice" {
+		t.Fatalf("get: err=%q owner=%q", gr.Err, gr.Owner)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// v2 behavior over the real server.
+// ---------------------------------------------------------------------------
+
+// seedRepo creates a repository with a handful of trained-searchable objects.
+func seedRepo(t *testing.T, conn *client.Conn, cc *core.Client, repoID string) {
+	t.Helper()
+	if err := conn.CreateRepository(testCtx, repoID, smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+	topics := []string{"beach sand ocean", "mountain snow peaks", "city night lights"}
+	for cls := 0; cls < 3; cls++ {
+		for i := 0; i < 3; i++ {
+			obj := &core.Object{
+				ID:    fmt.Sprintf("%s-c%d-%d", repoID, cls, i),
+				Owner: "alice",
+				Text:  topics[cls],
+				Image: classImage(cls, int64(i)),
+			}
+			up, err := cc.PrepareUpdate(obj, dataKey())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := conn.Update(testCtx, repoID, up); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestAsyncTrainJobOverWire(t *testing.T) {
+	srv := startServer(t)
+	conn := dial(t, srv, nil)
+	cc := newCoreClient(t, nil)
+	seedRepo(t, conn, cc, "async")
+
+	job, err := conn.TrainStart(testCtx, "async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.JobID == 0 {
+		t.Fatal("job id must be nonzero")
+	}
+	// Status is queryable while or after the job runs.
+	if _, err := conn.TrainStatus(testCtx, "async", job.JobID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := conn.TrainWait(testCtx, "async", job.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != string(core.TrainDone) || final.Epoch != 1 {
+		t.Fatalf("final status = %+v", final)
+	}
+	// The trained index serves queries.
+	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "mountain peaks"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := conn.Search(testCtx, "async", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("search after async train found nothing")
+	}
+	// Unknown jobs are an application error, not a transport one.
+	if _, err := conn.TrainStatus(testCtx, "async", 9999); err == nil ||
+		!strings.Contains(err.Error(), "unknown train job") {
+		t.Errorf("unknown job err = %v", err)
+	}
+}
+
+func TestTrainWaitDeadlineReportsRunning(t *testing.T) {
+	srv := startServer(t)
+	conn := dial(t, srv, nil)
+	cc := newCoreClient(t, nil)
+	seedRepo(t, conn, cc, "waitdl")
+
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	core.SetTrainInstallHookForTest(func() {
+		entered <- struct{}{}
+		<-release
+	})
+	t.Cleanup(func() { core.SetTrainInstallHookForTest(nil) })
+	t.Cleanup(func() { close(release) })
+
+	job, err := conn.TrainStart(testCtx, "waitdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// The wait deadline lapses while the job still runs: the server reports
+	// the running status instead of failing the request.
+	ctx, cancel := context.WithTimeout(testCtx, 100*time.Millisecond)
+	defer cancel()
+	st, err := conn.TrainWait(ctx, "waitdl", job.JobID)
+	if err == nil {
+		if st.State != string(core.TrainRunning) {
+			t.Errorf("state = %q, want running", st.State)
+		}
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		// The client's own context may win the race against the server's
+		// running-status reply; either outcome is acceptable, other errors
+		// are not.
+		t.Errorf("bounded TrainWait: %v", err)
+	}
+}
+
+func TestExpiredSearchReturnsPromptlyDuringTrain(t *testing.T) {
+	// The acceptance scenario: a Train job is in flight on the same
+	// connection, and a Search whose context is already expired returns
+	// immediately — no RPC is blocked behind training.
+	srv := startServer(t)
+	conn := dial(t, srv, nil)
+	cc := newCoreClient(t, nil)
+	seedRepo(t, conn, cc, "busy")
+
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	core.SetTrainInstallHookForTest(func() {
+		entered <- struct{}{}
+		<-release
+	})
+	t.Cleanup(func() { core.SetTrainInstallHookForTest(nil) })
+
+	job, err := conn.TrainStart(testCtx, "busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // training is provably in flight, parked before its epoch swap
+
+	expired, cancel := context.WithTimeout(testCtx, time.Nanosecond)
+	defer cancel()
+	<-expired.Done()
+	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "mountain peaks"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := conn.Search(expired, "busy", q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired search err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("expired search took %v, want prompt return", d)
+	}
+	// A live Search on the SAME connection is served while the Train job
+	// still runs — the mux at work.
+	hits, err := conn.Search(testCtx, "busy", q)
+	if err != nil {
+		t.Fatalf("search during train job: %v", err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("search during train job found nothing")
+	}
+	close(release)
+	if st, err := conn.TrainWait(testCtx, "busy", job.JobID); err != nil || st.State != string(core.TrainDone) {
+		t.Fatalf("train job completion: %+v, %v", st, err)
+	}
+}
+
+func TestCancelMidSearchObservedByServer(t *testing.T) {
+	// Acceptance: canceling a context mid-Search aborts the wait client-side
+	// and emits a Cancel frame the server observes — asserted via the
+	// server's obs counters.
+	reg := obs.NewRegistry()
+	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	conn := dial(t, srv, nil)
+	cc := newCoreClient(t, nil)
+	seedRepo(t, conn, cc, "cancelme")
+	if err := conn.Train(testCtx, "cancelme"); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	core.SetSearchStartHookForTest(func() {
+		entered <- struct{}{}
+		<-release
+	})
+	t.Cleanup(func() { core.SetSearchStartHookForTest(nil) })
+	t.Cleanup(func() { close(release) })
+
+	q, err := cc.PrepareQuery(&core.Object{ID: "q", Text: "mountain peaks"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(testCtx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Search(ctx, "cancelme", q)
+		done <- err
+	}()
+	<-entered // the search is held inside the engine
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled search returned %v, want context.Canceled", err)
+	}
+	// The cancel frame reaches the server asynchronously; both counters must
+	// move — the frame arrived, and it named a request still in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Counter("server_cancel_frames_total").Value() >= 1 &&
+			reg.Counter("server_cancel_hits_total").Value() >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("server_cancel_frames_total").Value(); got < 1 {
+		t.Errorf("server_cancel_frames_total = %d, want >= 1", got)
+	}
+	if got := reg.Counter("server_cancel_hits_total").Value(); got < 1 {
+		t.Errorf("server_cancel_hits_total = %d, want >= 1 (cancel must name an in-flight request)", got)
+	}
+}
+
+func TestHelloNegotiatesV2(t *testing.T) {
+	srv := startServer(t)
+	conn := dial(t, srv, nil)
+	if got := conn.Protocol(); got != wire.ProtocolV2 {
+		t.Errorf("negotiated protocol = %d, want v2", got)
+	}
+	// Forced lockstep still works against the v2 server.
+	ls, err := client.Dial(srv.Addr(), nil, client.WithLockstep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ls.Close() })
+	if got := ls.Protocol(); got != wire.ProtocolV1 {
+		t.Errorf("lockstep protocol = %d, want v1", got)
+	}
+	if err := ls.CreateRepository(testCtx, "ls", smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+}

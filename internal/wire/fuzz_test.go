@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"mie/internal/core"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame decoder. The
+// decoder sits directly on the network in front of untrusted peers, so it
+// must never panic and must classify every failure as exactly one of: clean
+// EOF, oversized frame, malformed envelope, or a generic read error — the
+// classification serveConn's counters depend on.
+//
+// Run the long version with:
+//
+//	go test -run='^$' -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: well-formed frames of every request/response kind plus a
+	// few interesting corruptions (see also testdata/fuzz/FuzzReadFrame).
+	seed := func(kind string, payload interface{}) {
+		var buf bytes.Buffer
+		if _, err := WriteFrame(&buf, kind, payload); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(KindSearch, SearchReq{RepoID: "r", Query: core.Query{K: 10}})
+	seed(KindAck, Ack{Err: "boom"})
+	seed(KindGetResp, GetResp{Ciphertext: []byte{1, 2, 3}, Owner: "me"})
+	seed(KindCancel, CancelReq{ID: 99})
+	seed(KindHello, Hello{MaxVersion: ProtocolV2})
+	seed(KindTrainWait, TrainJobReq{RepoID: "r", JobID: 7})
+	var v2 bytes.Buffer
+	env, err := NewEnvelope(KindSearch, "token", 123, 5*time.Second, SearchReq{RepoID: "x"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := WriteEnvelope(&v2, env); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 8, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		env, n, err := ReadFrame(r)
+		if err != nil {
+			if env != nil {
+				t.Errorf("non-nil envelope alongside error %v", err)
+			}
+			// Every error must fall into exactly one classification bucket.
+			switch {
+			case errors.Is(err, io.EOF):
+				if IsMalformed(err) {
+					t.Errorf("EOF classified as malformed: %v", err)
+				}
+			case IsMalformed(err):
+			default:
+				// Generic read error: only truncation can cause it on an
+				// in-memory reader.
+				if r.Len() == 0 && len(data) >= 4 {
+					// ReadFull hit the end mid-body: expected.
+					break
+				}
+			}
+			return
+		}
+		if n < 4 || n > len(data) {
+			t.Errorf("reported size %d outside [4, %d]", n, len(data))
+		}
+		// A successfully decoded envelope must survive re-encoding, and its
+		// payload decode must not panic regardless of content.
+		var buf bytes.Buffer
+		if _, werr := WriteEnvelope(&buf, env); werr != nil {
+			t.Errorf("re-encode of decoded envelope failed: %v", werr)
+		}
+		var ack Ack
+		_ = env.Decode(&ack)
+		var sr SearchReq
+		_ = env.Decode(&sr)
+	})
+}
+
+// FuzzEnvelopeDecode targets the second decode stage: a valid envelope
+// whose Data bytes are attacker-controlled.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add("search", []byte{})
+	f.Add("ack", []byte{0xde, 0xad})
+	var body bytes.Buffer
+	if _, err := WriteFrame(&body, KindSearch, SearchReq{RepoID: "q"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(KindSearch, body.Bytes())
+
+	f.Fuzz(func(t *testing.T, kind string, data []byte) {
+		env := &Envelope{Kind: kind, Data: data}
+		var ack Ack
+		_ = env.Decode(&ack)
+		var sr SearchReq
+		_ = env.Decode(&sr)
+		var tj TrainJobResp
+		_ = env.Decode(&tj)
+	})
+}

@@ -1,8 +1,26 @@
 // Package wire is the framing layer of the MIE network protocol: length-
-// prefixed frames carrying gob-encoded envelopes, one request/response pair
-// per operation. All client-server traffic of Figure 1 flows through it
-// (in deployment, inside a TLS tunnel; transport security is orthogonal to
-// the scheme and stdlib crypto/tls wraps net.Conn directly).
+// prefixed frames carrying gob-encoded envelopes. All client-server traffic
+// of Figure 1 flows through it (in deployment, inside a TLS tunnel;
+// transport security is orthogonal to the scheme and stdlib crypto/tls
+// wraps net.Conn directly).
+//
+// # Protocol versions
+//
+// Version 1 is lockstep: one request per connection at a time, the response
+// written before the next request is read, with Envelope.ID zero. Version 2
+// multiplexes: every request carries a nonzero ID, responses echo the ID of
+// the request they answer, and may arrive in any order; requests may carry a
+// deadline (a relative time budget, immune to clock skew) and may be
+// abandoned early with a Cancel frame naming the in-flight ID.
+//
+// The two versions share one frame and envelope format. Gob tolerates both
+// unknown and missing struct fields, so a v1 peer decodes v2 envelopes
+// (ignoring ID and TimeoutNanos) and a v2 peer decodes v1 envelopes (seeing
+// ID zero, which *is* the v1 marker). A v2 client announces itself with a
+// Hello frame; a v2 server answers HelloResp, while a v1 server answers
+// KindError ("unknown kind"), telling the client to fall back to lockstep.
+// A v1 client never sends Hello and never sets IDs, so a v2 server serves
+// it in lockstep without any negotiation.
 package wire
 
 import (
@@ -12,8 +30,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"mie/internal/core"
+)
+
+// Protocol versions negotiated by Hello/HelloResp.
+const (
+	// ProtocolV1 is the lockstep protocol: ID-less envelopes, one request
+	// in flight per connection.
+	ProtocolV1 = 1
+	// ProtocolV2 is the multiplexed protocol: per-request IDs, deadlines,
+	// cancellation and asynchronous training jobs.
+	ProtocolV2 = 2
 )
 
 // MaxFrameSize bounds a single frame; oversized frames indicate a corrupt
@@ -49,19 +78,62 @@ const (
 	KindSearchResp = "search-resp"
 	KindGetResp    = "get-resp"
 	KindError      = "error"
+
+	// v2 kinds.
+
+	// KindHello opens version negotiation; a v2 server answers
+	// KindHelloResp, a v1 server answers KindError.
+	KindHello     = "hello"
+	KindHelloResp = "hello-resp"
+	// KindCancel abandons an in-flight request by ID. It is fire-and-forget:
+	// the server never responds to it (the canceled request's response, if
+	// any, is dropped by the client's demux).
+	KindCancel = "cancel"
+	// KindTrainStart launches an asynchronous server-side training job and
+	// returns its handle immediately; KindTrainStatus polls it and
+	// KindTrainWait blocks (bounded by the request deadline) until the job
+	// finishes. All three answer with KindTrainJobResp.
+	KindTrainStart   = "train-start"
+	KindTrainStatus  = "train-status"
+	KindTrainWait    = "train-wait"
+	KindTrainJobResp = "train-job-resp"
 )
 
 // Envelope is one protocol message: a kind tag, an optional bearer
-// authorization token (see internal/auth), and the gob encoding of the
-// kind's payload struct.
+// authorization token (see internal/auth), v2 multiplexing metadata and the
+// gob encoding of the kind's payload struct.
 type Envelope struct {
 	Kind string
 	Auth string
-	Data []byte
+	// ID correlates a response with its request on a multiplexed (v2)
+	// connection. Zero means v1 lockstep framing.
+	ID uint64
+	// TimeoutNanos is the remaining time budget of the request at send time
+	// (relative, so peers need not share a clock); 0 means no deadline.
+	// The server derives the request's context.Context deadline from it.
+	TimeoutNanos int64
+	Data         []byte
+}
+
+// Timeout returns the request's remaining time budget, if any.
+func (e *Envelope) Timeout() (time.Duration, bool) {
+	if e.TimeoutNanos <= 0 {
+		return 0, false
+	}
+	return time.Duration(e.TimeoutNanos), true
 }
 
 // Request payloads.
 type (
+	// Hello announces a v2-capable client.
+	Hello struct {
+		// MaxVersion is the highest protocol version the client speaks.
+		MaxVersion int
+	}
+	// CancelReq abandons the in-flight request with the given ID.
+	CancelReq struct {
+		ID uint64
+	}
 	// CreateRepoReq creates a repository with the given engine parameters.
 	CreateRepoReq struct {
 		RepoID string
@@ -77,9 +149,15 @@ type (
 		TrainingSampleCap int
 		FusionCandidates  int
 	}
-	// TrainReq triggers server-side training.
+	// TrainReq triggers server-side training: synchronously for KindTrain
+	// (v1) and asynchronously for KindTrainStart (v2).
 	TrainReq struct {
 		RepoID string
+	}
+	// TrainJobReq addresses one training job (KindTrainStatus/KindTrainWait).
+	TrainJobReq struct {
+		RepoID string
+		JobID  uint64
 	}
 	// UpdateReq uploads an encrypted object and its encodings.
 	UpdateReq struct {
@@ -105,6 +183,10 @@ type (
 
 // Response payloads.
 type (
+	// HelloResp answers a Hello with the version the server selected.
+	HelloResp struct {
+		Version int
+	}
 	// Ack acknowledges a mutation; Err is empty on success.
 	Ack struct {
 		Err string
@@ -119,6 +201,19 @@ type (
 		Err        string
 		Ciphertext []byte
 		Owner      string
+	}
+	// TrainJobStatus mirrors core.TrainJobStatus on the wire.
+	TrainJobStatus struct {
+		JobID uint64
+		State string
+		Err   string
+		Epoch uint64
+	}
+	// TrainJobResp answers the train-job kinds; Err reports request-level
+	// failures (unknown repository/job), Job.Err a failed training run.
+	TrainJobResp struct {
+		Err string
+		Job TrainJobStatus
 	}
 )
 
@@ -137,24 +232,43 @@ func (o RepoOptions) ToCore() core.RepositoryOptions {
 	return opts
 }
 
-// WriteFrame gob-encodes payload into an envelope of the given kind and
-// writes it as one length-prefixed frame. It returns the number of bytes
-// written so callers can account transfer costs.
-func WriteFrame(w io.Writer, kind string, payload interface{}) (int, error) {
-	return WriteFrameAuth(w, kind, "", payload)
+// FromCore converts engine options into their wire representation.
+func FromCore(opts core.RepositoryOptions) RepoOptions {
+	return RepoOptions{
+		VocabWords:        opts.Vocab.Words,
+		VocabMaxIter:      opts.Vocab.MaxIter,
+		TreeBranch:        opts.Vocab.Tree.Branch,
+		TreeHeight:        opts.Vocab.Tree.Height,
+		TreeSeed:          opts.Vocab.Seed,
+		TrainingSampleCap: opts.TrainingSampleCap,
+		FusionCandidates:  opts.FusionCandidates,
+	}
 }
 
-// WriteFrameAuth is WriteFrame with a bearer authorization token attached.
-func WriteFrameAuth(w io.Writer, kind, authToken string, payload interface{}) (int, error) {
+// NewEnvelope gob-encodes payload into an envelope carrying the given v2
+// metadata. A zero id and timeout produce a v1-compatible envelope.
+func NewEnvelope(kind, authToken string, id uint64, timeout time.Duration, payload interface{}) (*Envelope, error) {
 	var body bytes.Buffer
 	if payload != nil {
 		if err := gob.NewEncoder(&body).Encode(payload); err != nil {
-			return 0, fmt.Errorf("wire: encode %s payload: %w", kind, err)
+			return nil, fmt.Errorf("wire: encode %s payload: %w", kind, err)
 		}
 	}
+	return &Envelope{
+		Kind:         kind,
+		Auth:         authToken,
+		ID:           id,
+		TimeoutNanos: int64(timeout),
+		Data:         body.Bytes(),
+	}, nil
+}
+
+// WriteEnvelope writes env as one length-prefixed frame and returns the
+// number of bytes written so callers can account transfer costs.
+func WriteEnvelope(w io.Writer, env *Envelope) (int, error) {
 	var frame bytes.Buffer
-	if err := gob.NewEncoder(&frame).Encode(Envelope{Kind: kind, Auth: authToken, Data: body.Bytes()}); err != nil {
-		return 0, fmt.Errorf("wire: encode %s envelope: %w", kind, err)
+	if err := gob.NewEncoder(&frame).Encode(*env); err != nil {
+		return 0, fmt.Errorf("wire: encode %s envelope: %w", env.Kind, err)
 	}
 	if frame.Len() > MaxFrameSize {
 		return 0, ErrFrameTooLarge
@@ -162,13 +276,28 @@ func WriteFrameAuth(w io.Writer, kind, authToken string, payload interface{}) (i
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(frame.Len()))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wire: write %s header: %w", kind, err)
+		return 0, fmt.Errorf("wire: write %s header: %w", env.Kind, err)
 	}
 	n, err := w.Write(frame.Bytes())
 	if err != nil {
-		return 0, fmt.Errorf("wire: write %s frame: %w", kind, err)
+		return 0, fmt.Errorf("wire: write %s frame: %w", env.Kind, err)
 	}
 	return 4 + n, nil
+}
+
+// WriteFrame gob-encodes payload into a v1 (ID-less) envelope of the given
+// kind and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, kind string, payload interface{}) (int, error) {
+	return WriteFrameAuth(w, kind, "", payload)
+}
+
+// WriteFrameAuth is WriteFrame with a bearer authorization token attached.
+func WriteFrameAuth(w io.Writer, kind, authToken string, payload interface{}) (int, error) {
+	env, err := NewEnvelope(kind, authToken, 0, 0, payload)
+	if err != nil {
+		return 0, err
+	}
+	return WriteEnvelope(w, env)
 }
 
 // ReadFrame reads one envelope. It returns the envelope, its size on the

@@ -6,21 +6,39 @@
 //
 // A minimal embedded (in-process) session:
 //
+//	ctx := context.Background()
 //	key, _ := mie.NewRepositoryKey()
 //	client, _ := mie.NewClient(mie.ClientConfig{Key: key})
-//	svc := mie.NewService()
-//	repo, _ := mie.OpenLocal(svc, client, "photos", mie.RepositoryOptions{})
+//	repo, _ := mie.Open(ctx, mie.Options{
+//		Client: client,
+//		RepoID: "photos",
+//		Create: true,
+//	})
+//	defer repo.Close()
 //	dataKey, _ := mie.NewDataKey()
-//	_ = repo.Add(&mie.Object{ID: "p1", Text: "beach sunset", Image: img}, dataKey)
-//	_ = repo.Train()
-//	hits, _ := repo.Search(&mie.Object{ID: "q", Text: "sunset"}, 10)
+//	_ = repo.Add(ctx, &mie.Object{ID: "p1", Text: "beach sunset", Image: img}, dataKey)
+//	_ = repo.Train(ctx)
+//	hits, _ := repo.Search(ctx, &mie.Object{ID: "q", Text: "sunset"}, 10)
 //
 // The same Repository interface works against a remote server started with
-// cmd/mie-server by replacing OpenLocal with OpenRemote.
+// cmd/mie-server by setting Options.Addr; the connection then speaks the
+// multiplexed wire protocol v2, so concurrent calls share one TCP
+// connection, context deadlines ride to the server, and canceling a context
+// aborts the in-flight request on both ends. Training can also run as an
+// asynchronous server-side job via TrainAsync — the mobile client may
+// disconnect while the cloud trains.
+//
+// The context-free OpenLocal/OpenRemote entry points and the
+// LegacyRepository interface they return are kept as deprecated shims for
+// pre-v2 callers.
 package mie
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"reflect"
+	"strings"
 
 	"mie/internal/audio"
 	"mie/internal/client"
@@ -57,7 +75,35 @@ type (
 	Image = imaging.Image
 	// Clip is a mono audio clip, the third modality of an Object.
 	Clip = audio.Clip
+	// TrainState is the lifecycle state of an asynchronous training job.
+	TrainState = core.TrainJobState
+	// TrainStatus is a point-in-time view of one training job.
+	TrainStatus = core.TrainJobStatus
 )
+
+// Training job states.
+const (
+	TrainRunning = core.TrainRunning
+	TrainDone    = core.TrainDone
+	TrainFailed  = core.TrainFailed
+)
+
+// ErrRepositoryExists reports that Open was asked to create a repository
+// that already exists. Open still returns a valid handle to the existing
+// repository alongside it, so callers for whom reuse is acceptable opt in
+// explicitly:
+//
+//	repo, err := mie.Open(ctx, opts)
+//	if err != nil && !errors.Is(err, mie.ErrRepositoryExists) {
+//		return err
+//	}
+//
+// For embedded deployments the error is returned only when the requested
+// RepositoryOptions differ from the ones the repository was created with —
+// re-running creation with identical parameters is harmless. A remote
+// server cannot be asked for its parameters, so there any create collision
+// reports the sentinel.
+var ErrRepositoryExists = errors.New("mie: repository already exists")
 
 // NewImage allocates a zero grayscale image of the given dimensions.
 func NewImage(w, h int) (*Image, error) { return imaging.NewImage(w, h) }
@@ -86,8 +132,319 @@ func DecryptObject(ciphertext []byte, dataKey DataKey) (*Object, error) {
 
 // Repository is the user-facing handle for one shared repository: Add,
 // Remove, Train, Search, Get — the five operations of the scheme plus reads
-// — independent of whether the server runs in process or across the network.
+// — independent of whether the server runs in process or across the
+// network. Every call takes a context; deadlines and cancellation propagate
+// to the server over the wire protocol's deadline and Cancel frames.
 type Repository interface {
+	// Add uploads (or replaces) an object encrypted under dataKey.
+	Add(ctx context.Context, obj *Object, dataKey DataKey) error
+	// Remove deletes an object by id.
+	Remove(ctx context.Context, objectID string) error
+	// Train asks the server to run training and build the indexes, and
+	// waits for completion. Concurrent Train calls join the same run.
+	Train(ctx context.Context) error
+	// TrainAsync launches training as a server-side background job and
+	// returns its handle immediately. The job belongs to the repository,
+	// not the caller: it keeps running if the caller disconnects.
+	TrainAsync(ctx context.Context) (*TrainJob, error)
+	// Search returns the top-k objects most similar to the query object.
+	Search(ctx context.Context, query *Object, k int) ([]SearchHit, error)
+	// Get fetches one stored ciphertext and its owner id.
+	Get(ctx context.Context, objectID string) (ciphertext []byte, owner string, err error)
+	// Close releases the handle's resources (the connection, for remote
+	// repositories). The repository itself lives on.
+	Close() error
+}
+
+// TrainJob is a handle to an asynchronous training job.
+type TrainJob struct {
+	id     uint64
+	status func(ctx context.Context, wait bool) (TrainStatus, error)
+}
+
+// ID returns the server-assigned job identifier.
+func (j *TrainJob) ID() uint64 { return j.id }
+
+// Status polls the job without blocking.
+func (j *TrainJob) Status(ctx context.Context) (TrainStatus, error) {
+	return j.status(ctx, false)
+}
+
+// Wait blocks until the job finishes or ctx expires; on expiry it returns
+// the job's latest status alongside ctx's error.
+func (j *TrainJob) Wait(ctx context.Context) (TrainStatus, error) {
+	return j.status(ctx, true)
+}
+
+// Options selects and configures the deployment a Repository handle talks
+// to. Client and RepoID are always required; Addr switches between the
+// embedded engine (empty) and a remote mie-server (host:port).
+type Options struct {
+	// Addr is the address of a remote mie-server. Empty means embedded:
+	// the repository lives in this process, hosted on Service.
+	Addr string
+	// Service hosts embedded repositories. Nil creates a private Service,
+	// which is convenient for one-repository programs; share one Service
+	// across Opens to host several repositories together. Ignored when
+	// Addr is set.
+	Service *Service
+	// Client prepares encodings and encryption on the trusted side.
+	Client *Client
+	// RepoID names the repository.
+	RepoID string
+	// Create asks for the repository to be created. If it already exists,
+	// Open returns a handle to the existing repository together with
+	// ErrRepositoryExists (see the sentinel's documentation).
+	Create bool
+	// Repo holds the engine parameters used when Create is set.
+	Repo RepositoryOptions
+	// Meter, when non-nil, accounts network transfer costs (remote only).
+	Meter *Meter
+	// Token is a bearer authorization token minted by the repository
+	// owner's authority (remote only).
+	Token string
+}
+
+// Open returns a Repository handle for the deployment described by opts.
+// It replaces OpenLocal and OpenRemote: the embedded/remote split is an
+// Options field, not an API fork.
+func Open(ctx context.Context, opts Options) (Repository, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.Client == nil {
+		return nil, errors.New("mie: Open needs a Client")
+	}
+	if opts.RepoID == "" {
+		return nil, errors.New("mie: Open needs a RepoID")
+	}
+	if opts.Addr == "" {
+		return openLocal(opts)
+	}
+	return openRemote(ctx, opts)
+}
+
+func openLocal(opts Options) (Repository, error) {
+	svc := opts.Service
+	if svc == nil {
+		svc = core.NewService()
+	}
+	if !opts.Create {
+		repo, err := svc.Repository(opts.RepoID)
+		if err != nil {
+			return nil, err
+		}
+		return &localRepo{client: opts.Client, repo: repo}, nil
+	}
+	repo, err := svc.CreateRepository(opts.RepoID, opts.Repo)
+	if err == nil {
+		return &localRepo{client: opts.Client, repo: repo}, nil
+	}
+	if !errors.Is(err, core.ErrRepoExists) {
+		return nil, err
+	}
+	repo, rerr := svc.Repository(opts.RepoID)
+	if rerr != nil {
+		return nil, rerr
+	}
+	h := &localRepo{client: opts.Client, repo: repo}
+	if !reflect.DeepEqual(repo.Options(), opts.Repo.WithDefaults()) {
+		return h, fmt.Errorf("mie: repository %q exists with different options: %w",
+			opts.RepoID, ErrRepositoryExists)
+	}
+	return h, nil
+}
+
+func openRemote(ctx context.Context, opts Options) (Repository, error) {
+	conn, err := client.Dial(opts.Addr, opts.Meter)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Token != "" {
+		conn.SetToken(opts.Token)
+	}
+	r := &remoteRepo{client: opts.Client, conn: conn, repoID: opts.RepoID}
+	if opts.Create {
+		if err := conn.CreateRepository(ctx, opts.RepoID, wire.FromCore(opts.Repo)); err != nil {
+			var re *client.RemoteError
+			if errors.As(err, &re) && strings.Contains(re.Msg, "already exists") {
+				return r, fmt.Errorf("mie: repository %q exists on %s: %w",
+					opts.RepoID, opts.Addr, ErrRepositoryExists)
+			}
+			if cerr := conn.Close(); cerr != nil {
+				return nil, fmt.Errorf("%v (close: %w)", err, cerr)
+			}
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// localRepo binds a Client to an in-process core.Repository.
+type localRepo struct {
+	client *Client
+	repo   *core.Repository
+}
+
+var _ Repository = (*localRepo)(nil)
+
+func (l *localRepo) Add(ctx context.Context, obj *Object, dataKey DataKey) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	up, err := l.client.PrepareUpdate(obj, dataKey)
+	if err != nil {
+		return err
+	}
+	return l.repo.Update(up)
+}
+
+func (l *localRepo) Remove(ctx context.Context, objectID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.repo.Remove(objectID)
+	return nil
+}
+
+func (l *localRepo) Train(ctx context.Context) error {
+	job, err := l.TrainAsync(ctx)
+	if err != nil {
+		return err
+	}
+	return waitTrained(ctx, job)
+}
+
+func (l *localRepo) TrainAsync(ctx context.Context) (*TrainJob, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	id := l.repo.TrainStart()
+	return &TrainJob{id: id, status: func(ctx context.Context, wait bool) (TrainStatus, error) {
+		if wait {
+			return l.repo.TrainWait(ctx, id)
+		}
+		return l.repo.TrainJob(id)
+	}}, nil
+}
+
+func (l *localRepo) Search(ctx context.Context, query *Object, k int) ([]SearchHit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q, err := l.client.PrepareQuery(query, k)
+	if err != nil {
+		return nil, err
+	}
+	return l.repo.Search(q)
+}
+
+func (l *localRepo) Get(ctx context.Context, objectID string) ([]byte, string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	return l.repo.Get(objectID)
+}
+
+func (l *localRepo) Close() error { return nil }
+
+// remoteRepo binds a Client to a network connection.
+type remoteRepo struct {
+	client *Client
+	conn   *client.Conn
+	repoID string
+}
+
+var _ Repository = (*remoteRepo)(nil)
+
+func (r *remoteRepo) Add(ctx context.Context, obj *Object, dataKey DataKey) error {
+	up, err := r.client.PrepareUpdate(obj, dataKey)
+	if err != nil {
+		return err
+	}
+	return r.conn.Update(ctx, r.repoID, up)
+}
+
+func (r *remoteRepo) Remove(ctx context.Context, objectID string) error {
+	return r.conn.Remove(ctx, r.repoID, objectID)
+}
+
+func (r *remoteRepo) Train(ctx context.Context) error {
+	job, err := r.TrainAsync(ctx)
+	if err != nil {
+		return err
+	}
+	return waitTrained(ctx, job)
+}
+
+func (r *remoteRepo) TrainAsync(ctx context.Context) (*TrainJob, error) {
+	st, err := r.conn.TrainStart(ctx, r.repoID)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainJob{id: st.JobID, status: func(ctx context.Context, wait bool) (TrainStatus, error) {
+		for {
+			var wst wire.TrainJobStatus
+			var err error
+			if wait {
+				wst, err = r.conn.TrainWait(ctx, r.repoID, st.JobID)
+			} else {
+				wst, err = r.conn.TrainStatus(ctx, r.repoID, st.JobID)
+			}
+			if err != nil {
+				return TrainStatus{}, err
+			}
+			got := TrainStatus{
+				JobID: wst.JobID,
+				State: TrainState(wst.State),
+				Err:   wst.Err,
+				Epoch: wst.Epoch,
+			}
+			if !wait || got.State != TrainRunning {
+				return got, nil
+			}
+			// The server answered "still running" because the request
+			// deadline lapsed server-side; keep waiting until our context
+			// gives up.
+			if err := ctx.Err(); err != nil {
+				return got, err
+			}
+		}
+	}}, nil
+}
+
+func (r *remoteRepo) Search(ctx context.Context, query *Object, k int) ([]SearchHit, error) {
+	q, err := r.client.PrepareQuery(query, k)
+	if err != nil {
+		return nil, err
+	}
+	return r.conn.Search(ctx, r.repoID, q)
+}
+
+func (r *remoteRepo) Get(ctx context.Context, objectID string) ([]byte, string, error) {
+	return r.conn.Get(ctx, r.repoID, objectID)
+}
+
+func (r *remoteRepo) Close() error { return r.conn.Close() }
+
+// waitTrained blocks on a train job and folds its outcome into an error.
+func waitTrained(ctx context.Context, job *TrainJob) error {
+	st, err := job.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	if st.State == TrainFailed {
+		return errors.New(st.Err)
+	}
+	return nil
+}
+
+// LegacyRepository is the pre-v2, context-free repository interface, kept so
+// existing callers compile unchanged. New code should use Repository via
+// Open; see the README migration notes.
+//
+// Deprecated: use Repository.
+type LegacyRepository interface {
 	// Add uploads (or replaces) an object encrypted under dataKey.
 	Add(obj *Object, dataKey DataKey) error
 	// Remove deletes an object by id.
@@ -100,63 +457,48 @@ type Repository interface {
 	Get(objectID string) (ciphertext []byte, owner string, err error)
 }
 
-// localRepo binds a Client to an in-process core.Repository.
-type localRepo struct {
-	client *Client
-	repo   *core.Repository
+// legacyRepo adapts a context-first Repository to the deprecated interface.
+type legacyRepo struct{ r Repository }
+
+var _ LegacyRepository = legacyRepo{}
+
+func (l legacyRepo) Add(obj *Object, dataKey DataKey) error {
+	return l.r.Add(context.Background(), obj, dataKey)
+}
+func (l legacyRepo) Remove(objectID string) error { return l.r.Remove(context.Background(), objectID) }
+func (l legacyRepo) Train() error                 { return l.r.Train(context.Background()) }
+func (l legacyRepo) Search(query *Object, k int) ([]SearchHit, error) {
+	return l.r.Search(context.Background(), query, k)
+}
+func (l legacyRepo) Get(objectID string) ([]byte, string, error) {
+	return l.r.Get(context.Background(), objectID)
 }
 
-var _ Repository = (*localRepo)(nil)
-
-// OpenLocal creates (or reuses) a repository on an in-process Service and
-// returns a handle bound to the given client.
-func OpenLocal(svc *Service, c *Client, repoID string, opts RepositoryOptions) (Repository, error) {
-	repo, err := svc.CreateRepository(repoID, opts)
-	if err != nil {
-		if repo, err = svc.Repository(repoID); err != nil {
-			return nil, err
-		}
+// OpenLocal creates (or silently reuses) a repository on an in-process
+// Service and returns a context-free handle bound to the given client.
+//
+// Deprecated: use Open with Options{Service: svc, Create: true}; it reports
+// reuse via ErrRepositoryExists instead of discarding the options silently.
+func OpenLocal(svc *Service, c *Client, repoID string, opts RepositoryOptions) (LegacyRepository, error) {
+	r, err := Open(context.Background(), Options{
+		Service: svc,
+		Client:  c,
+		RepoID:  repoID,
+		Create:  true,
+		Repo:    opts,
+	})
+	if errors.Is(err, ErrRepositoryExists) {
+		err = nil // the legacy contract: reuse without telling anyone
 	}
-	return &localRepo{client: c, repo: repo}, nil
-}
-
-func (l *localRepo) Add(obj *Object, dataKey DataKey) error {
-	up, err := l.client.PrepareUpdate(obj, dataKey)
-	if err != nil {
-		return err
-	}
-	return l.repo.Update(up)
-}
-
-func (l *localRepo) Remove(objectID string) error {
-	l.repo.Remove(objectID)
-	return nil
-}
-
-func (l *localRepo) Train() error { return l.repo.Train() }
-
-func (l *localRepo) Search(query *Object, k int) ([]SearchHit, error) {
-	q, err := l.client.PrepareQuery(query, k)
 	if err != nil {
 		return nil, err
 	}
-	return l.repo.Search(q)
+	return legacyRepo{r}, nil
 }
-
-func (l *localRepo) Get(objectID string) ([]byte, string, error) {
-	return l.repo.Get(objectID)
-}
-
-// remoteRepo binds a Client to a network connection.
-type remoteRepo struct {
-	client *Client
-	conn   *client.Conn
-	repoID string
-}
-
-var _ Repository = (*remoteRepo)(nil)
 
 // RemoteOptions configures OpenRemote.
+//
+// Deprecated: use Options with Open.
 type RemoteOptions struct {
 	// Create requests repository creation; set it on first open.
 	Create bool
@@ -166,62 +508,35 @@ type RemoteOptions struct {
 	Meter *Meter
 }
 
-// OpenRemote dials an MIE server and returns a repository handle.
-func OpenRemote(addr string, c *Client, repoID string, opts RemoteOptions) (Repository, error) {
-	conn, err := client.Dial(addr, opts.Meter)
+// OpenRemote dials an MIE server and returns a context-free repository
+// handle. Release it with the package-level Close.
+//
+// Deprecated: use Open with Options{Addr: addr}.
+func OpenRemote(addr string, c *Client, repoID string, opts RemoteOptions) (LegacyRepository, error) {
+	r, err := Open(context.Background(), Options{
+		Addr:   addr,
+		Client: c,
+		RepoID: repoID,
+		Create: opts.Create,
+		Repo:   opts.Repo,
+		Meter:  opts.Meter,
+	})
 	if err != nil {
+		if r != nil {
+			_ = r.Close() // legacy contract: a create conflict is fatal
+		}
 		return nil, err
 	}
-	if opts.Create {
-		wireOpts := wire.RepoOptions{
-			VocabWords:        opts.Repo.Vocab.Words,
-			VocabMaxIter:      opts.Repo.Vocab.MaxIter,
-			TreeBranch:        opts.Repo.Vocab.Tree.Branch,
-			TreeHeight:        opts.Repo.Vocab.Tree.Height,
-			TreeSeed:          opts.Repo.Vocab.Seed,
-			TrainingSampleCap: opts.Repo.TrainingSampleCap,
-			FusionCandidates:  opts.Repo.FusionCandidates,
-		}
-		if err := conn.CreateRepository(repoID, wireOpts); err != nil {
-			if cerr := conn.Close(); cerr != nil {
-				return nil, fmt.Errorf("%v (close: %w)", err, cerr)
-			}
-			return nil, err
-		}
-	}
-	return &remoteRepo{client: c, conn: conn, repoID: repoID}, nil
+	return legacyRepo{r}, nil
 }
 
-func (r *remoteRepo) Add(obj *Object, dataKey DataKey) error {
-	up, err := r.client.PrepareUpdate(obj, dataKey)
-	if err != nil {
-		return err
-	}
-	return r.conn.Update(r.repoID, up)
-}
-
-func (r *remoteRepo) Remove(objectID string) error {
-	return r.conn.Remove(r.repoID, objectID)
-}
-
-func (r *remoteRepo) Train() error { return r.conn.Train(r.repoID) }
-
-func (r *remoteRepo) Search(query *Object, k int) ([]SearchHit, error) {
-	q, err := r.client.PrepareQuery(query, k)
-	if err != nil {
-		return nil, err
-	}
-	return r.conn.Search(r.repoID, q)
-}
-
-func (r *remoteRepo) Get(objectID string) ([]byte, string, error) {
-	return r.conn.Get(r.repoID, objectID)
-}
-
-// Close releases a remote repository's connection; local handles ignore it.
-func Close(r Repository) error {
-	if rr, ok := r.(*remoteRepo); ok {
-		return rr.conn.Close()
+// Close releases a legacy repository handle's connection; local handles
+// ignore it.
+//
+// Deprecated: use Repository.Close.
+func Close(r LegacyRepository) error {
+	if lr, ok := r.(legacyRepo); ok {
+		return lr.r.Close()
 	}
 	return nil
 }

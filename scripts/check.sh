@@ -19,4 +19,13 @@ go vet -tags netgo ./cmd/...
 go build ./...
 go test -race ./...
 
+# Fuzz smoke over the wire-protocol decoders: every frame arriving off the
+# network must fail cleanly, never panic. FUZZTIME=0 skips (corpus-only
+# replay already ran as part of go test above).
+FUZZTIME="${FUZZTIME:-30s}"
+if [ "$FUZZTIME" != "0" ]; then
+    go test -run='^$' -fuzz=FuzzReadFrame -fuzztime="$FUZZTIME" ./internal/wire
+    go test -run='^$' -fuzz=FuzzEnvelopeDecode -fuzztime="$FUZZTIME" ./internal/wire
+fi
+
 echo "check.sh: all gates passed"
