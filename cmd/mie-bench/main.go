@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mie-bench [-scale quick|default|paper] [-experiment all|table1|table2|fig2|fig3|fig4|fig5|fig6|table3|attack|ablations]
-//	          [-obs-out BENCH_obs.json]
+//	          [-obs-out BENCH_obs.json] [-persistence [-persistence-out BENCH_persistence.json]]
 //
 // The default scale runs the whole suite in minutes on a laptop by shrinking
 // workloads ~10x; -scale paper restores the published sizes (expect the
@@ -37,6 +37,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "run the concurrent-search benchmark with up to N search clients (0 = skip)")
 	singleConn := flag.Bool("single-conn", false, "with -parallel, also compare wire transports over TCP: v1 lockstep and v2 mux on one shared connection vs one v2 connection per client")
 	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "write the concurrent-search report as JSON to this file")
+	persistence := flag.Bool("persistence", false, "run the durability benchmark: WAL append/fsync throughput per sync policy, snapshot and recovery cost")
+	persistOut := flag.String("persistence-out", "BENCH_persistence.json", "write the durability report as JSON to this file")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-bench:", err)
@@ -44,6 +46,12 @@ func main() {
 	}
 	if *parallel > 0 {
 		if err := runConcurrency(*scale, *parallel, *singleConn, *concOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *persistence {
+		if err := runPersistence(*scale, *persistOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mie-bench:", err)
 			os.Exit(1)
 		}
@@ -96,6 +104,38 @@ func runConcurrency(scale string, n int, singleConn bool, outPath string) error 
 		return fmt.Errorf("write concurrency report: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "concurrency report written to %s\n", outPath)
+	return nil
+}
+
+// runPersistence measures the durability subsystem (WAL append throughput
+// per fsync policy, snapshot and recovery cost), prints the report and
+// writes it as JSON.
+func runPersistence(scale, outPath string) error {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "mie-persist-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	report, err := experiments.PersistenceExperiment(cfg, dir)
+	if err != nil {
+		return fmt.Errorf("persistence: %w", err)
+	}
+	experiments.WritePersistenceReport(os.Stdout, report)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal persistence report: %w", err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write persistence report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "persistence report written to %s\n", outPath)
 	return nil
 }
 

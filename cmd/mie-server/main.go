@@ -5,10 +5,16 @@
 // Usage:
 //
 //	mie-server [-addr :7709] [-data-dir /var/lib/mie] [-snapshot-every 5m]
-//	           [-debug-addr 127.0.0.1:7710] [-log-level info]
+//	           [-wal-sync always] [-debug-addr 127.0.0.1:7710] [-log-level info]
 //
-// With -data-dir the server restores all repositories from snapshots on
-// startup and persists them on shutdown and every -snapshot-every interval.
+// With -data-dir the server is crash-safe: every acknowledged Update/Remove
+// is appended to a per-repository write-ahead log before the client sees
+// success, snapshots are written on shutdown and every -snapshot-every
+// interval (folding the log back in and rotating it empty), and startup
+// restores each repository from its snapshot plus a replay of its log.
+// -wal-sync picks the log's fsync policy: "always" (default — acknowledged
+// writes survive power loss), "interval" (fsync on a timer; a crash may
+// lose the last interval's writes) or "never" (fastest; the OS decides).
 // With -debug-addr it additionally serves the observability endpoint:
 // /metrics (plain-text exposition), /metrics.json, /debug/vars (expvar) and
 // /debug/pprof — bind it to a trusted interface only. The server holds no
@@ -28,22 +34,24 @@ import (
 	"mie/internal/core"
 	"mie/internal/obs"
 	"mie/internal/server"
+	"mie/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", ":7709", "listen address")
-	dataDir := flag.String("data-dir", "", "snapshot directory for durable repositories (empty = in-memory only)")
-	snapEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval (with -data-dir)")
+	dataDir := flag.String("data-dir", "", "data directory for durable repositories: snapshots + write-ahead logs (empty = in-memory only)")
+	snapEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval; each snapshot rotates the WAL (with -data-dir)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval or never")
 	debugAddr := flag.String("debug-addr", "", "observability HTTP address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
-	if err := run(*addr, *dataDir, *snapEvery, *debugAddr, *logLevel); err != nil {
+	if err := run(*addr, *dataDir, *snapEvery, *walSync, *debugAddr, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, snapEvery time.Duration, debugAddr, logLevel string) error {
+func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logLevel string) error {
 	level, err := obs.ParseLevel(logLevel)
 	if err != nil {
 		return err
@@ -52,13 +60,27 @@ func run(addr, dataDir string, snapEvery time.Duration, debugAddr, logLevel stri
 
 	svc := core.NewService()
 	if dataDir != "" {
-		loaded, err := core.LoadService(dataDir, nil)
+		policy, err := wal.ParseSyncPolicy(walSync)
+		if err != nil {
+			return err
+		}
+		loaded, report, err := core.LoadService(core.DurableOptions{Dir: dataDir, Sync: policy}, nil)
+		if loaded == nil {
+			return err // the data directory itself is unusable
+		}
 		if err != nil {
 			// Partial loads keep the healthy repositories; log and serve.
 			logger.Warn("restore incomplete", "err", err)
 		}
 		svc = loaded
-		logger.Info("restored repositories", "count", len(svc.Repositories()), "dir", dataDir)
+		logger.Info("recovered repositories",
+			"count", report.Repositories,
+			"wal_records_replayed", report.ReplayedRecords,
+			"wal_bytes_replayed", report.ReplayedBytes,
+			"torn_bytes_discarded", report.TornBytes,
+			"orphans_removed", report.OrphansRemoved,
+			"wal_sync", policy.String(),
+			"dir", dataDir)
 	}
 
 	if debugAddr != "" {

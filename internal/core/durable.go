@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"mie/internal/obs"
+	"mie/internal/wal"
+)
+
+// DurableOptions configures a service's snapshot+WAL persistence: each
+// hosted repository gets one snapshot file plus one write-ahead log in Dir.
+// Every acknowledged Update/Remove is appended to the log before the caller
+// sees success; a periodic snapshot folds the log back into the snapshot
+// and rotates it empty. Startup is the inverse: load snapshot, replay log.
+type DurableOptions struct {
+	// Dir is the data directory (snapshots and logs side by side).
+	Dir string
+	// Sync is the WAL fsync policy; the zero value is wal.SyncAlways, under
+	// which every acknowledged mutation survives kill -9 and power loss.
+	Sync wal.SyncPolicy
+	// SyncInterval bounds the loss window under wal.SyncInterval; 0 means
+	// the wal package default (100ms).
+	SyncInterval time.Duration
+}
+
+// RecoveryReport summarizes what LoadService reconstructed.
+type RecoveryReport struct {
+	// Repositories successfully restored (snapshot loaded, WAL replayed).
+	Repositories int
+	// ReplayedRecords is the total number of WAL mutations applied on top
+	// of snapshots.
+	ReplayedRecords int
+	// ReplayedBytes is the payload volume of those mutations.
+	ReplayedBytes int64
+	// TornBytes is how much torn or corrupt WAL tail was discarded — the
+	// footprint of dying mid-write, cut off rather than erred on.
+	TornBytes int64
+	// OrphansRemoved counts dead files cleaned up (a .wal with no snapshot:
+	// a creation or drop that crashed halfway).
+	OrphansRemoved int
+}
+
+// walMetrics: the persistence counters of the process registry.
+var (
+	walAppendsC  = obs.Default().Counter("wal_appends")
+	walFsyncsC   = obs.Default().Counter("wal_fsyncs")
+	walBytesC    = obs.Default().Counter("wal_bytes")
+	walReplayedC = obs.Default().Counter("recovery_replayed_records")
+)
+
+// walObserver feeds the process registry from the log's event hooks.
+type walObserver struct{}
+
+func (walObserver) Appended(n int) { walAppendsC.Inc(); walBytesC.Add(int64(n)) }
+func (walObserver) Synced()        { walFsyncsC.Inc() }
+
+// walFileOpener (nil outside tests) overrides how WAL backing files are
+// opened, so fault-injection tests can substitute scripted walfault files
+// for the real disk. Never set in production code.
+var walFileOpener func(path string) (wal.File, error)
+
+// durability is a service's persistence configuration.
+type durability struct {
+	dir  string
+	opts wal.Options
+}
+
+func newDurability(o DurableOptions) *durability {
+	wo := wal.Options{
+		Sync:         o.Sync,
+		SyncInterval: o.SyncInterval,
+		Observer:     walObserver{},
+		OpenFile:     walFileOpener, // nil outside tests = real files
+	}
+	return &durability{dir: o.Dir, opts: wo}
+}
+
+// walRecord is the payload of one WAL record: exactly one acknowledged
+// mutation, gob-encoded standalone so any record decodes without the ones
+// before it.
+type walRecord struct {
+	// Remove marks a removal of ObjectID; otherwise Update is set.
+	Remove   bool
+	ObjectID string
+	Update   *Update
+}
+
+func encodeWALRecord(rec *walRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("core: encode wal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWALRecord(b []byte) (*walRecord, error) {
+	var rec walRecord
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("core: decode wal record: %w", err)
+	}
+	if !rec.Remove && rec.Update == nil {
+		return nil, errors.New("core: wal record carries neither update nor remove")
+	}
+	return &rec, nil
+}
+
+// applyWALRecord replays one recovered mutation. Called before the log is
+// attached, so the replay does not re-append what it reads.
+func (r *Repository) applyWALRecord(m *walRecord) error {
+	if m.Remove {
+		return r.Remove(m.ObjectID)
+	}
+	return r.Update(m.Update)
+}
+
+// initRepo makes a freshly created repository durable from birth: it opens
+// the repository's (empty) log and writes an initial snapshot, so a restart
+// before the first periodic snapshot still knows the repository exists and
+// has a snapshot to replay the WAL onto.
+func (d *durability) initRepo(r *Repository) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return fmt.Errorf("core: create data dir: %w", err)
+	}
+	l, _, err := wal.Open(filepath.Join(d.dir, walFileName(r.ID())), d.opts, nil)
+	if err != nil {
+		return err
+	}
+	// A pre-existing log at this path belongs to a previous incarnation (a
+	// drop that crashed before deleting it); the new repository starts empty.
+	if err := l.Reset(); err != nil {
+		_ = l.Close()
+		return err
+	}
+	r.attachWAL(l)
+	if err := r.saveTo(d.dir); err != nil {
+		_ = l.Close()
+		return err
+	}
+	return nil
+}
+
+// removeRepoFiles deletes a dropped repository's on-disk state. The
+// snapshot goes first: if the process dies between the two removals, what
+// remains is an orphaned .wal (cleaned up on the next load or save), never
+// a resurrectable snapshot.
+func (d *durability) removeRepoFiles(id string) error {
+	if err := os.Remove(filepath.Join(d.dir, snapshotFileName(id))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("core: remove snapshot of %s: %w", id, err)
+	}
+	if err := os.Remove(filepath.Join(d.dir, walFileName(id))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("core: remove wal of %s: %w", id, err)
+	}
+	return nil
+}
+
+// LoadService restores a service from a data directory: every snapshot is
+// loaded and its write-ahead log replayed on top (remove-then-add, the same
+// idempotent discipline as the train-time changelog), then the log stays
+// attached so new mutations keep appending. Files that fail to load are
+// reported together; valid repositories still come up (partial availability
+// beats none after a crash). A fresh or missing directory yields an empty —
+// but durable — service.
+func LoadService(opts DurableOptions, indexOpts *RepositoryOptions) (*Service, *RecoveryReport, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("core: LoadService needs a data directory")
+	}
+	s := NewService()
+	s.durable = newDurability(opts)
+	report := &RecoveryReport{}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("core: create data dir: %w", err)
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read data dir: %w", err)
+	}
+	sp := obs.StartSpan(obs.Default(), "service/recovery")
+	defer sp.End()
+	var loadErrs []string
+	snapStems := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		stem := strings.TrimSuffix(e.Name(), ".snap")
+		snapStems[stem] = true
+		repo, err := loadSnapshotFile(sp, filepath.Join(opts.Dir, e.Name()), indexOpts)
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", e.Name(), err))
+			continue
+		}
+		wsp := sp.Child("wal_replay")
+		var replayedBytes int64
+		l, rec, err := wal.Open(filepath.Join(opts.Dir, stem+".wal"), s.durable.opts, func(b []byte) error {
+			m, derr := decodeWALRecord(b)
+			if derr != nil {
+				return derr
+			}
+			replayedBytes += int64(len(b))
+			return repo.applyWALRecord(m)
+		})
+		wsp.End()
+		if err != nil {
+			// A log that opens but cannot replay leaves the repository in a
+			// half-recovered state; keep it down and surface the error.
+			_ = repo.Close()
+			loadErrs = append(loadErrs, fmt.Sprintf("%s.wal: %v", stem, err))
+			continue
+		}
+		repo.attachWAL(l)
+		walReplayedC.Add(int64(rec.Records))
+		report.Repositories++
+		report.ReplayedRecords += rec.Records
+		report.ReplayedBytes += replayedBytes
+		report.TornBytes += rec.DroppedBytes
+		s.mu.Lock()
+		s.repos[repo.ID()] = repo
+		s.repoGauge.Set(int64(len(s.repos)))
+		s.mu.Unlock()
+	}
+	// A .wal with no snapshot is dead: either a creation that crashed before
+	// its initial snapshot (never acknowledged) or a drop that crashed
+	// between deleting the snapshot and the log.
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wal") || snapStems[strings.TrimSuffix(e.Name(), ".wal")] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(opts.Dir, e.Name())); err == nil {
+			report.OrphansRemoved++
+		}
+	}
+	if len(loadErrs) > 0 {
+		return s, report, fmt.Errorf("core: %d snapshot(s) failed to load: %s", len(loadErrs), strings.Join(loadErrs, "; "))
+	}
+	return s, report, nil
+}
+
+// loadSnapshotFile restores one repository from its snapshot file.
+func loadSnapshotFile(sp *obs.Span, path string, indexOpts *RepositoryOptions) (*Repository, error) {
+	ssp := sp.Child("snapshot_load")
+	defer ssp.End()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := LoadRepository(f, indexOpts)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return repo, err
+}
+
+// SaveService writes every repository hosted by the service into dir, one
+// snapshot file per repository, each replaced atomically and fsynced
+// through to the directory entry, with the repository's WAL rotated empty
+// in the same consistent cut. Snapshot and log files belonging to
+// repositories the service no longer hosts are removed — without that, a
+// repository dropped at runtime would resurrect from its stale snapshot on
+// the next restart.
+func SaveService(s *Service, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create snapshot dir: %w", err)
+	}
+	for _, id := range s.Repositories() {
+		repo, err := s.Repository(id)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		if err := repo.saveTo(dir); err != nil {
+			return err
+		}
+	}
+	return pruneOrphanFiles(s, dir)
+}
+
+// pruneOrphanFiles removes .snap and .wal files with no hosted repository.
+// It holds the service lock so the scan is atomic against a concurrent
+// durable CreateRepository writing its initial snapshot.
+func pruneOrphanFiles(s *Service, dir string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keep := make(map[string]bool, 2*len(s.repos))
+	for id := range s.repos {
+		keep[snapshotFileName(id)] = true
+		keep[walFileName(id)] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("core: read snapshot dir: %w", err)
+	}
+	removed := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || keep[name] {
+			continue
+		}
+		if !strings.HasSuffix(name, ".snap") && !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("core: prune %s: %w", name, err)
+		}
+		removed = true
+	}
+	if removed {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed (or just-removed) entry
+// survives power loss. Filesystems that cannot sync directories are
+// tolerated: the rename itself is still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: sync dir: %w", err)
+	}
+	return nil
+}
+
+// walFileName escapes a repository id into its log file name; it shares the
+// snapshot's escaping so the two always sit side by side.
+func walFileName(id string) string {
+	return repoFileStem(id) + ".wal"
+}

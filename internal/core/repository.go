@@ -17,6 +17,7 @@ import (
 	"mie/internal/obs"
 	"mie/internal/store"
 	"mie/internal/vec"
+	"mie/internal/wal"
 )
 
 // repoMetrics holds a repository's observability handles. Phase timings
@@ -184,6 +185,10 @@ type Repository struct {
 	// writeMu serializes mutators (Update/Remove), index maintenance and
 	// epoch installs with each other. Readers never take it.
 	writeMu sync.Mutex
+	// wal (nil for non-durable repositories, guarded by writeMu) is the
+	// repository's write-ahead log: every mutation is appended before it is
+	// applied, so an acknowledged write is replayable after a crash.
+	wal *wal.Log
 	// changelog is non-nil while a Train is in flight (guarded by writeMu).
 	changelog *changelog
 	// trainMu serializes Train calls; searches and writes proceed under it.
@@ -288,6 +293,11 @@ func (r *Repository) Update(up *Update) error {
 	}
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
+	// Write-ahead: the mutation reaches the log before it touches memory,
+	// so success is only ever reported for a replayable write.
+	if err := r.walAppend(sp, &walRecord{ObjectID: up.ObjectID, Update: up}); err != nil {
+		return err
+	}
 	st := r.state.Load()
 	doc := index.DocID(up.ObjectID)
 	prev, replaced := r.objects.Put(up.ObjectID, obj)
@@ -313,6 +323,10 @@ func (r *Repository) Update(up *Update) error {
 			} else {
 				r.objects.Delete(up.ObjectID)
 			}
+			// The mutation is already in the log but was rolled back in
+			// memory; log the inverse so replay converges to the same
+			// rolled-back state.
+			r.walCompensate(up.ObjectID, prev, replaced)
 			return err
 		}
 	}
@@ -358,11 +372,18 @@ func indexObject(st *repoState, id string, obj *storedObject) error {
 }
 
 // Remove deletes an object and its index entries (CLOUD.Remove,
-// Algorithm 8). Unknown ids are a no-op.
-func (r *Repository) Remove(objectID string) {
+// Algorithm 8). Unknown ids are a no-op. On a durable repository the
+// removal is logged before it is applied; a WAL error leaves the object in
+// place and is returned.
+func (r *Repository) Remove(objectID string) error {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	st := r.state.Load()
+	if _, exists := r.objects.Get(objectID); exists {
+		if err := r.walAppend(nil, &walRecord{Remove: true, ObjectID: objectID}); err != nil {
+			return err
+		}
+	}
 	if _, existed := r.objects.Delete(objectID); existed {
 		doc := index.DocID(objectID)
 		for _, idx := range st.indexes {
@@ -376,6 +397,67 @@ func (r *Repository) Remove(objectID string) {
 	}
 	r.met.objects.Set(int64(r.objects.Len()))
 	r.leak.recordRemove(objectID)
+	return nil
+}
+
+// walAppend logs one mutation if the repository is durable. Callers hold
+// writeMu. sp (optional) receives a wal_append child span.
+func (r *Repository) walAppend(sp *obs.Span, rec *walRecord) error {
+	if r.wal == nil {
+		return nil
+	}
+	payload, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	if sp != nil {
+		wsp := sp.Child("wal_append")
+		defer wsp.End()
+	}
+	if err := r.wal.Append(payload); err != nil {
+		return fmt.Errorf("core: wal append for %s: %w", r.id, err)
+	}
+	return nil
+}
+
+// walCompensate logs the inverse of a mutation that was appended but then
+// rolled back in memory: the previous object (a replace) or a removal (an
+// insert). Best effort — if even the compensation cannot be logged, replay
+// may resurrect the rolled-back write, which the caller was told failed;
+// the log is by then poisoned or the disk gone, so a louder failure is
+// already on its way.
+func (r *Repository) walCompensate(id string, prev *storedObject, replaced bool) {
+	if r.wal == nil {
+		return
+	}
+	rec := &walRecord{Remove: true, ObjectID: id}
+	if replaced {
+		rec = &walRecord{ObjectID: id, Update: updateFromStored(id, prev)}
+	}
+	if payload, err := encodeWALRecord(rec); err == nil {
+		_ = r.wal.Append(payload)
+	}
+}
+
+// updateFromStored reconstructs the Update that produced a stored object,
+// for compensation records.
+func updateFromStored(id string, obj *storedObject) *Update {
+	return &Update{
+		ObjectID:       id,
+		Owner:          obj.owner,
+		Ciphertext:     obj.ciphertext,
+		TextTokens:     obj.textTokens,
+		ImageEncodings: obj.imageEncs,
+		AudioEncodings: obj.audioEncs,
+	}
+}
+
+// attachWAL hands the repository its write-ahead log. Called once, after
+// recovery replay, so replayed records are not re-appended.
+func (r *Repository) attachWAL(l *wal.Log) {
+	r.writeMu.Lock()
+	r.wal = l
+	r.writeMu.Unlock()
 }
 
 // Get returns the stored ciphertext and owner of an object (the read path
@@ -737,7 +819,7 @@ func (r *Repository) MergeIndexes() error {
 	return nil
 }
 
-// Close releases index resources (spill logs).
+// Close releases index resources (spill logs) and the write-ahead log.
 func (r *Repository) Close() error {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
@@ -750,6 +832,12 @@ func (r *Repository) Close() error {
 		if err := idx.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if r.wal != nil {
+		if err := r.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		r.wal = nil
 	}
 	return firstErr
 }

@@ -23,6 +23,9 @@ type Service struct {
 	mu        sync.RWMutex
 	repos     map[string]*Repository
 	repoGauge *obs.Gauge
+	// durable (nil for in-memory services) is the snapshot+WAL persistence
+	// configuration installed by LoadService.
+	durable *durability
 }
 
 // NewService creates an empty service.
@@ -34,6 +37,9 @@ func NewService() *Service {
 }
 
 // CreateRepository initializes a new repository (Algorithm 5's cloud half).
+// On a durable service the repository is durable from birth: its write-ahead
+// log is opened and an initial snapshot written before the create is
+// acknowledged, so a crash at any later point can restore it.
 func (s *Service) CreateRepository(id string, opts RepositoryOptions) (*Repository, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -43,6 +49,12 @@ func (s *Service) CreateRepository(id string, opts RepositoryOptions) (*Reposito
 	r, err := NewRepository(id, opts)
 	if err != nil {
 		return nil, err
+	}
+	if s.durable != nil {
+		if err := s.durable.initRepo(r); err != nil {
+			_ = r.Close()
+			return nil, err
+		}
 	}
 	s.repos[id] = r
 	s.repoGauge.Set(int64(len(s.repos)))
@@ -71,7 +83,10 @@ func (s *Service) Repositories() []string {
 	return out
 }
 
-// DropRepository removes a repository and releases its resources.
+// DropRepository removes a repository and releases its resources. On a
+// durable service its on-disk snapshot and log are deleted too — snapshot
+// first, so a crash mid-drop can at worst leave an orphaned log (pruned on
+// the next load), never a snapshot that would resurrect the repository.
 func (s *Service) DropRepository(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -81,7 +96,13 @@ func (s *Service) DropRepository(id string) error {
 	}
 	delete(s.repos, id)
 	s.repoGauge.Set(int64(len(s.repos)))
-	return r.Close()
+	err := r.Close()
+	if s.durable != nil {
+		if derr := s.durable.removeRepoFiles(id); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // Close releases every hosted repository.

@@ -48,10 +48,16 @@ type snapshot struct {
 // concurrently with reads; writers are blocked for the duration so the
 // object set and the trained state land as one consistent cut.
 func (r *Repository) Snapshot(w io.Writer) error {
-	sp := obs.StartSpan(r.met.reg, "repo/snapshot")
-	defer sp.End()
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
+	return r.snapshotLocked(w)
+}
+
+// snapshotLocked is Snapshot with writeMu already held, so saveTo can take
+// the snapshot and rotate the write-ahead log as one consistent cut.
+func (r *Repository) snapshotLocked(w io.Writer) error {
+	sp := obs.StartSpan(r.met.reg, "repo/snapshot")
+	defer sp.End()
 	st := r.state.Load()
 	snap := snapshot{
 		Magic:   snapshotMagic,
@@ -172,84 +178,56 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 	return r, nil
 }
 
-// SaveService writes every repository hosted by the service into dir, one
-// snapshot file per repository. Existing snapshots are replaced atomically
-// (write to temp, rename).
-func SaveService(s *Service, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("core: create snapshot dir: %w", err)
+// saveTo writes the repository's snapshot into dir — write to temp, fsync
+// the file, rename over the target, fsync the directory — and then rotates
+// the repository's write-ahead log empty. The whole sequence runs under
+// writeMu, so the snapshot and the log rotation are one consistent cut: no
+// mutation can land between "folded into the snapshot" and "dropped from
+// the log". The log is only rotated after the snapshot is durable on disk;
+// if the process dies in between, replaying the (now stale) log over the
+// newer snapshot converges, because records carry full object state and
+// replay preserves their order.
+func (r *Repository) saveTo(dir string) error {
+	path := filepath.Join(dir, snapshotFileName(r.id))
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("core: temp snapshot: %w", err)
 	}
-	for _, id := range s.Repositories() {
-		repo, err := s.Repository(id)
-		if err != nil {
-			continue // dropped concurrently
-		}
-		path := filepath.Join(dir, snapshotFileName(id))
-		tmp, err := os.CreateTemp(dir, ".snap-*")
-		if err != nil {
-			return fmt.Errorf("core: temp snapshot: %w", err)
-		}
-		if err := repo.Snapshot(tmp); err != nil {
-			_ = tmp.Close()           // best effort; the write error wins
-			_ = os.Remove(tmp.Name()) // don't leave partial temp files
-			return err
-		}
-		if err := tmp.Close(); err != nil {
-			_ = os.Remove(tmp.Name())
-			return fmt.Errorf("core: close snapshot: %w", err)
-		}
-		if err := os.Rename(tmp.Name(), path); err != nil {
-			_ = os.Remove(tmp.Name())
-			return fmt.Errorf("core: commit snapshot: %w", err)
+	abort := func() { _ = tmp.Close(); _ = os.Remove(tmp.Name()) }
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	if err := r.snapshotLocked(tmp); err != nil {
+		abort()
+		return err
+	}
+	// fsync before rename: the rename must never expose a snapshot whose
+	// bytes could still be lost to a power cut.
+	if err := tmp.Sync(); err != nil {
+		abort()
+		return fmt.Errorf("core: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("core: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("core: commit snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if r.wal != nil {
+		if err := r.wal.Reset(); err != nil {
+			return fmt.Errorf("core: rotate wal of %s: %w", r.id, err)
 		}
 	}
 	return nil
 }
 
-// LoadService restores a service from a snapshot directory written by
-// SaveService. Files that fail to load are reported together; valid
-// repositories still come up (partial availability beats none after a
-// crash).
-func LoadService(dir string, indexOpts *RepositoryOptions) (*Service, error) {
-	s := NewService()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return s, nil // fresh install
-		}
-		return nil, fmt.Errorf("core: read snapshot dir: %w", err)
-	}
-	var loadErrs []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", e.Name(), err))
-			continue
-		}
-		repo, err := LoadRepository(f, indexOpts)
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-		if err != nil {
-			loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", e.Name(), err))
-			continue
-		}
-		s.mu.Lock()
-		s.repos[repo.ID()] = repo
-		s.repoGauge.Set(int64(len(s.repos)))
-		s.mu.Unlock()
-	}
-	if len(loadErrs) > 0 {
-		return s, fmt.Errorf("core: %d snapshot(s) failed to load: %s", len(loadErrs), strings.Join(loadErrs, "; "))
-	}
-	return s, nil
-}
-
-// snapshotFileName escapes a repository id into a safe file name.
-func snapshotFileName(id string) string {
+// repoFileStem escapes a repository id into a safe file-name stem, shared
+// by the snapshot and WAL naming so the two always sit side by side.
+func repoFileStem(id string) string {
 	var b strings.Builder
 	for _, r := range id {
 		switch {
@@ -259,5 +237,10 @@ func snapshotFileName(id string) string {
 			fmt.Fprintf(&b, "%%%04x", r)
 		}
 	}
-	return b.String() + ".snap"
+	return b.String()
+}
+
+// snapshotFileName escapes a repository id into its snapshot file name.
+func snapshotFileName(id string) string {
+	return repoFileStem(id) + ".snap"
 }

@@ -163,7 +163,7 @@ func TestSaveLoadService(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, err := LoadService(dir, nil)
+	loaded, _, err := LoadService(DurableOptions{Dir: dir}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestSaveServiceOverwritesAtomically(t *testing.T) {
 	if err := SaveService(svc, dir); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadService(dir, nil)
+	loaded, _, err := LoadService(DurableOptions{Dir: dir}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestLoadServicePartialFailure(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "corrupt.snap"), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadService(dir, nil)
+	loaded, _, err := LoadService(DurableOptions{Dir: dir}, nil)
 	if err == nil {
 		t.Error("expected an aggregate error for the corrupt snapshot")
 	}
@@ -262,11 +262,18 @@ func TestLoadServicePartialFailure(t *testing.T) {
 }
 
 func TestLoadServiceFreshDirectory(t *testing.T) {
-	svc, err := LoadService(filepath.Join(t.TempDir(), "does-not-exist"), nil)
+	svc, report, err := LoadService(DurableOptions{Dir: filepath.Join(t.TempDir(), "does-not-exist")}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(svc.Repositories()) != 0 {
 		t.Error("fresh service not empty")
+	}
+	if report.Repositories != 0 || report.ReplayedRecords != 0 {
+		t.Errorf("fresh directory reported recovery work: %+v", report)
+	}
+	// The fresh service is durable: a repository created now survives.
+	if _, err := svc.CreateRepository("born-fresh", RepositoryOptions{}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -293,3 +293,43 @@ func TestWireConcurrencyExperimentShape(t *testing.T) {
 		t.Error("wire section missing from report text")
 	}
 }
+
+func TestPersistenceExperimentShape(t *testing.T) {
+	report, err := PersistenceExperiment(Quick(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per sync policy", len(report.Rows))
+	}
+	seen := map[string]PersistenceRow{}
+	for _, row := range report.Rows {
+		if row.Updates == 0 || row.UpdatesPerSec <= 0 || row.WALBytes <= 0 {
+			t.Errorf("%s: empty measurements: %+v", row.SyncPolicy, row)
+		}
+		seen[row.SyncPolicy] = row
+	}
+	for _, policy := range []string{"always", "interval", "never"} {
+		if _, ok := seen[policy]; !ok {
+			t.Errorf("policy %s missing from report", policy)
+		}
+	}
+	// "always" fsyncs once per update; "never" not at all during appends.
+	if a := seen["always"]; a.Fsyncs < int64(a.Updates) {
+		t.Errorf("always: %d fsyncs for %d updates", a.Fsyncs, a.Updates)
+	}
+	if n := seen["never"]; n.Fsyncs != 0 {
+		t.Errorf("never: %d fsyncs during appends, want 0", n.Fsyncs)
+	}
+	if report.SnapshotMs <= 0 || report.RecoveryMs <= 0 {
+		t.Errorf("snapshot/recovery timings missing: %+v", report)
+	}
+	if report.ReplayedRecords == 0 {
+		t.Error("recovery replayed no records")
+	}
+	var buf strings.Builder
+	WritePersistenceReport(&buf, report)
+	if !strings.Contains(buf.String(), "write-ahead log") {
+		t.Error("report header missing")
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"mie/internal/core"
+	"mie/internal/dataset"
+	"mie/internal/obs"
+	"mie/internal/wal"
+)
+
+// PersistenceRow is one sync policy's row of BENCH_persistence.json: the
+// cost of write-ahead logging N acknowledged updates under that fsync
+// discipline.
+type PersistenceRow struct {
+	SyncPolicy    string  `json:"sync_policy"`
+	Updates       int     `json:"updates"`
+	WallMs        float64 `json:"wall_ms"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	P50UpdateMs   float64 `json:"p50_update_ms"`
+	P95UpdateMs   float64 `json:"p95_update_ms"`
+	WALBytes      int64   `json:"wal_bytes"`
+	WALMBPerSec   float64 `json:"wal_mb_per_sec"`
+	Fsyncs        int64   `json:"fsyncs"`
+}
+
+// PersistenceReport is the full document mie-bench -persistence writes:
+// append throughput per sync policy, plus the cost of the snapshot that
+// rotates the log and of a cold-start recovery replay.
+type PersistenceReport struct {
+	Rows []PersistenceRow `json:"rows"`
+	// SnapshotMs is one SaveService over the benchmark repository (write,
+	// fsync, rename, rotate the WAL).
+	SnapshotMs float64 `json:"snapshot_ms"`
+	// RecoveryMs is a cold LoadService: snapshot load + WAL replay of the
+	// post-snapshot updates.
+	RecoveryMs      float64 `json:"recovery_ms"`
+	ReplayedRecords int     `json:"replayed_records"`
+}
+
+// PersistenceExperiment measures the durability subsystem: the same update
+// stream is logged under each WAL sync policy (always / interval / never)
+// into its own data directory under dir, then the always-synced directory
+// is snapshotted and cold-recovered.
+func PersistenceExperiment(cfg Config, dir string) (*PersistenceReport, error) {
+	corpus := dataset.Flickr(dataset.FlickrParams{
+		N:         cfg.SearchRepoSize,
+		ImageSize: cfg.ImageSize,
+		Seed:      cfg.Seed,
+	})
+	stack, err := newMIE(cfg, nil, "persist-src")
+	if err != nil {
+		return nil, err
+	}
+	ups := make([]*core.Update, len(corpus))
+	for i, obj := range corpus {
+		if ups[i], err = stack.client.PrepareUpdate(obj, dataKey()); err != nil {
+			return nil, err
+		}
+	}
+
+	bytesC := obs.Default().Counter("wal_bytes")
+	fsyncC := obs.Default().Counter("wal_fsyncs")
+	report := &PersistenceReport{}
+	var alwaysDir string
+	var alwaysSvc *core.Service
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNever} {
+		sub := filepath.Join(dir, "wal-"+policy.String())
+		svc, _, err := core.LoadService(core.DurableOptions{Dir: sub, Sync: policy}, nil)
+		if err != nil {
+			return nil, err
+		}
+		repo, err := svc.CreateRepository("persist", core.RepositoryOptions{Vocab: cfg.vocab()})
+		if err != nil {
+			return nil, err
+		}
+		bytes0, fsync0 := bytesC.Value(), fsyncC.Value()
+		durations := make([]time.Duration, len(ups))
+		start := time.Now()
+		for i, up := range ups {
+			t0 := time.Now()
+			if err := repo.Update(up); err != nil {
+				return nil, fmt.Errorf("update under %s: %w", policy, err)
+			}
+			durations[i] = time.Since(t0)
+		}
+		wall := time.Since(start)
+		walBytes := bytesC.Value() - bytes0
+		report.Rows = append(report.Rows, PersistenceRow{
+			SyncPolicy:    policy.String(),
+			Updates:       len(ups),
+			WallMs:        ms(wall),
+			UpdatesPerSec: float64(len(ups)) / wall.Seconds(),
+			P50UpdateMs:   percentileMs(durations, 0.50),
+			P95UpdateMs:   percentileMs(durations, 0.95),
+			WALBytes:      walBytes,
+			WALMBPerSec:   float64(walBytes) / 1e6 / wall.Seconds(),
+			Fsyncs:        fsyncC.Value() - fsync0,
+		})
+		if policy == wal.SyncAlways {
+			alwaysDir, alwaysSvc = sub, svc
+		} else if err := svc.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Snapshot cost: fold the always-synced log into a snapshot.
+	t0 := time.Now()
+	if err := core.SaveService(alwaysSvc, alwaysDir); err != nil {
+		return nil, err
+	}
+	report.SnapshotMs = ms(time.Since(t0))
+	// Re-apply half the stream so recovery has a log to replay on top of
+	// the snapshot, then cold-start.
+	repo, err := alwaysSvc.Repository("persist")
+	if err != nil {
+		return nil, err
+	}
+	for _, up := range ups[:len(ups)/2] {
+		if err := repo.Update(up); err != nil {
+			return nil, err
+		}
+	}
+	if err := alwaysSvc.Close(); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	svc, rec, err := core.LoadService(core.DurableOptions{Dir: alwaysDir}, nil)
+	if err != nil {
+		return nil, err
+	}
+	report.RecoveryMs = ms(time.Since(t0))
+	report.ReplayedRecords = rec.ReplayedRecords
+	return report, svc.Close()
+}
+
+// WritePersistenceReport renders the report for stdout.
+func WritePersistenceReport(w io.Writer, r *PersistenceReport) {
+	fmt.Fprintln(w, "Durability: write-ahead log append throughput by sync policy")
+	fmt.Fprintf(w, "  %-10s %-8s %-12s %-9s %-9s %-10s %-9s\n",
+		"policy", "updates", "updates/s", "p50(ms)", "p95(ms)", "MB/s", "fsyncs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-10s %-8d %-12.1f %-9.3f %-9.3f %-10.2f %-9d\n",
+			row.SyncPolicy, row.Updates, row.UpdatesPerSec, row.P50UpdateMs, row.P95UpdateMs, row.WALMBPerSec, row.Fsyncs)
+	}
+	fmt.Fprintf(w, "  snapshot (rotates WAL): %.1f ms; cold recovery: %.1f ms replaying %d records\n",
+		r.SnapshotMs, r.RecoveryMs, r.ReplayedRecords)
+}

@@ -509,7 +509,7 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 			sp.Time("engine", func() {
 				var repo *core.Repository
 				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					repo.Remove(req.ObjectID)
+					err = repo.Remove(req.ObjectID)
 				}
 			})
 		}

@@ -1,0 +1,283 @@
+// Package walfault is a deterministic fault-injection harness for the
+// write-ahead log: an in-memory implementation of wal.File whose operations
+// can be scripted to fail, short-write, or crash — simulating power loss —
+// at an exact operation count or byte offset.
+//
+// The harness distinguishes the file's *logical* content (what the process
+// has written) from its *durable* content (what would survive a power cut).
+// A crash freezes the durable image: for a byte-offset crash, exactly the
+// first CrashAtByte bytes of the file survive — the torn-tail scenario the
+// log's recovery reader must truncate cleanly; for an operation-count crash
+// (or a manual Crash call), only bytes covered by the last Sync survive.
+// After a crash every operation fails with ErrCrashed, and reopening the
+// path through a Disk yields a fresh file seeded with the durable image,
+// exactly like remounting the disk after the machine comes back.
+package walfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Injected fault errors.
+var (
+	// ErrInjected is returned by operations the Script marks as failing.
+	ErrInjected = errors.New("walfault: injected fault")
+	// ErrCrashed is returned by every operation after the file crashed.
+	ErrCrashed = errors.New("walfault: file crashed (power loss)")
+)
+
+// Script schedules faults deterministically. Counters are 1-based ("the
+// Nth call"); zero disables a fault. At most one fault triggers per
+// operation, checked in the field order below.
+type Script struct {
+	// FailWriteAt fails the Nth Write outright: no bytes are written.
+	FailWriteAt int
+	// ShortWriteAt makes the Nth Write persist only half its bytes, then
+	// return ErrInjected — a disk-full or signal-interrupted write.
+	ShortWriteAt int
+	// FailSyncAt fails the Nth Sync; the durable watermark does not move.
+	FailSyncAt int
+	// CrashAtOp crashes the file at the Nth Write before any of its bytes
+	// land: everything unsynced is lost.
+	CrashAtOp int
+	// CrashAtByte crashes the file the moment its logical size would
+	// exceed this offset: the write stops exactly there and the durable
+	// image is the first CrashAtByte bytes. This is the knob the
+	// crash-matrix tests sweep across every byte of a record.
+	CrashAtByte int64
+}
+
+// File is an in-memory wal.File with scripted faults.
+type File struct {
+	mu      sync.Mutex
+	script  Script
+	data    []byte
+	pos     int64
+	synced  int64 // durable watermark: data[:synced] survives an op crash
+	writes  int
+	syncs   int
+	crashed bool
+	durable []byte // frozen at crash time
+}
+
+// New creates an empty scripted file.
+func New(script Script) *File { return &File{script: script} }
+
+// Reopen creates a fault-free file seeded with data — the disk as the next
+// boot sees it. The seed counts as durable.
+func Reopen(data []byte) *File {
+	f := &File{data: append([]byte(nil), data...)}
+	f.synced = int64(len(f.data))
+	return f
+}
+
+// Crash simulates a power cut between operations: unsynced bytes are lost
+// and every later operation fails with ErrCrashed.
+func (f *File) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crash(f.synced)
+}
+
+// crash freezes the durable image at the first durableLen bytes. Callers
+// hold f.mu.
+func (f *File) crash(durableLen int64) {
+	if f.crashed {
+		return
+	}
+	f.crashed = true
+	if durableLen > int64(len(f.data)) {
+		durableLen = int64(len(f.data))
+	}
+	f.durable = append([]byte(nil), f.data[:durableLen]...)
+}
+
+// Crashed reports whether the file has crashed.
+func (f *File) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Durable returns the bytes that survive: the frozen image after a crash,
+// or (clean shutdown) everything written.
+func (f *File) Durable() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return append([]byte(nil), f.durable...)
+	}
+	return append([]byte(nil), f.data...)
+}
+
+// Write appends/overwrites at the current offset, subject to the script.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	f.writes++
+	switch {
+	case f.script.FailWriteAt == f.writes:
+		return 0, ErrInjected
+	case f.script.ShortWriteAt == f.writes:
+		n := len(p) / 2
+		f.commit(p[:n])
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, n, len(p))
+	case f.script.CrashAtOp == f.writes:
+		f.crash(f.synced)
+		return 0, ErrCrashed
+	}
+	if f.script.CrashAtByte > 0 && f.pos+int64(len(p)) > f.script.CrashAtByte {
+		n := 0
+		if f.script.CrashAtByte > f.pos {
+			n = int(f.script.CrashAtByte - f.pos)
+		}
+		f.commit(p[:n])
+		f.crash(f.script.CrashAtByte)
+		return n, ErrCrashed
+	}
+	f.commit(p)
+	return len(p), nil
+}
+
+// commit lands n bytes at the current offset. Callers hold f.mu.
+func (f *File) commit(p []byte) {
+	end := f.pos + int64(len(p))
+	if end > int64(len(f.data)) {
+		f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
+	}
+	copy(f.data[f.pos:end], p)
+	f.pos = end
+}
+
+// Sync advances the durable watermark, subject to the script.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.script.FailSyncAt == f.syncs {
+		return ErrInjected
+	}
+	f.synced = int64(len(f.data))
+	return nil
+}
+
+// Read reads from the current offset.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if f.pos >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+// Seek repositions the offset.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.data))
+	default:
+		return 0, fmt.Errorf("walfault: bad whence %d", whence)
+	}
+	if base+offset < 0 {
+		return 0, errors.New("walfault: negative offset")
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+// Truncate cuts the file to size (growing is not supported).
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if size < int64(len(f.data)) {
+		f.data = f.data[:size]
+	}
+	if f.synced > size {
+		f.synced = size
+	}
+	return nil
+}
+
+// Close is a no-op so recovery can always release a crashed file.
+func (f *File) Close() error { return nil }
+
+// Disk is an in-memory collection of scripted files keyed by path; plug its
+// Open method into wal.Options.OpenFile to run a whole service's logs
+// against scripted faults. Reopening a crashed path yields a fresh file
+// seeded with the crashed file's durable image — the post-reboot disk.
+type Disk struct {
+	mu      sync.Mutex
+	files   map[string]*File
+	scripts map[string]Script
+}
+
+// NewDisk creates an empty disk.
+func NewDisk() *Disk {
+	return &Disk{files: make(map[string]*File), scripts: make(map[string]Script)}
+}
+
+// Script installs the fault script applied when path is next created (it
+// does not retroactively affect an already-open file).
+func (d *Disk) Script(path string, s Script) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.scripts[path] = s
+}
+
+// Open returns the file at path, creating it (with its script) on first
+// use, or reincarnating it from its durable image if it crashed. *File
+// satisfies wal.File, so `func(p string) (wal.File, error) { return
+// d.Open(p) }` plugs straight into wal.Options.OpenFile.
+func (d *Disk) Open(path string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path]
+	switch {
+	case !ok:
+		f = New(d.scripts[path])
+	case f.Crashed():
+		f = Reopen(f.Durable())
+	default:
+		// Same incarnation: rewind so the opener sees the whole file.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+	}
+	d.files[path] = f
+	return f, nil
+}
+
+// File returns the current incarnation of path, or nil.
+func (d *Disk) File(path string) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.files[path]
+}

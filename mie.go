@@ -303,8 +303,7 @@ func (l *localRepo) Remove(ctx context.Context, objectID string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	l.repo.Remove(objectID)
-	return nil
+	return l.repo.Remove(objectID)
 }
 
 func (l *localRepo) Train(ctx context.Context) error {
@@ -549,11 +548,18 @@ func Serve(addr string, svc *Service) (*server.Server, error) {
 }
 
 // SaveService snapshots every hosted repository into dir (one file each,
-// replaced atomically); LoadService restores them. Together they give an
-// embedded deployment the same durability cmd/mie-server's -data-dir flag
-// provides.
+// written via fsync+rename and pruned of dropped repositories) and rotates
+// each repository's write-ahead log; LoadService restores them. Together
+// they give an embedded deployment the same crash safety cmd/mie-server's
+// -data-dir flag provides.
 func SaveService(svc *Service, dir string) error { return core.SaveService(svc, dir) }
 
-// LoadService restores a Service from a snapshot directory written by
-// SaveService. A fresh (nonexistent) directory yields an empty service.
-func LoadService(dir string) (*Service, error) { return core.LoadService(dir, nil) }
+// LoadService restores a Service from a data directory written by
+// SaveService: each repository's snapshot is loaded and its write-ahead log
+// replayed on top, and the returned service keeps logging new mutations
+// there (fsync on every acknowledged write). A fresh (nonexistent)
+// directory yields an empty durable service.
+func LoadService(dir string) (*Service, error) {
+	svc, _, err := core.LoadService(core.DurableOptions{Dir: dir}, nil)
+	return svc, err
+}

@@ -17,15 +17,20 @@ go vet ./...
 # used for fully static deploy builds.
 go vet -tags netgo ./cmd/...
 go build ./...
-go test -race ./...
+# -shuffle surfaces inter-test ordering dependencies; -cover prints a
+# per-package coverage summary so coverage regressions are visible in CI
+# logs.
+go test -race -shuffle=on -cover ./...
 
-# Fuzz smoke over the wire-protocol decoders: every frame arriving off the
-# network must fail cleanly, never panic. FUZZTIME=0 skips (corpus-only
+# Fuzz smoke over the decoders that face untrusted or crash-damaged input:
+# wire frames arriving off the network and WAL bytes read back after a
+# crash must fail cleanly, never panic. FUZZTIME=0 skips (corpus-only
 # replay already ran as part of go test above).
 FUZZTIME="${FUZZTIME:-30s}"
 if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz=FuzzReadFrame -fuzztime="$FUZZTIME" ./internal/wire
     go test -run='^$' -fuzz=FuzzEnvelopeDecode -fuzztime="$FUZZTIME" ./internal/wire
+    go test -run='^$' -fuzz=FuzzWALReplay -fuzztime="$FUZZTIME" ./internal/wal
 fi
 
 echo "check.sh: all gates passed"
