@@ -5,11 +5,17 @@
 //
 //	mie-bench [-scale quick|default|paper] [-experiment all|table1|table2|fig2|fig3|fig4|fig5|fig6|table3|attack|ablations]
 //	          [-obs-out BENCH_obs.json] [-persistence [-persistence-out BENCH_persistence.json]]
+//	          [-trace-overhead]
 //
 // The default scale runs the whole suite in minutes on a laptop by shrinking
 // workloads ~10x; -scale paper restores the published sizes (expect the
 // Hom-MSSE runs to take a very long time — on the paper's tablet they
 // drained the battery).
+//
+// -trace-overhead measures the cost of the request-tracing subsystem: the
+// same TCP search workload untraced and head-sampled at 0%, 1% and 100%,
+// reported as p95 overhead versus the untraced baseline and folded into the
+// -obs-out JSON (target: <5% p95 overhead at the default 1% sampling).
 //
 // Every run also dumps the process metrics registry (phase latency
 // histograms with quantiles, request counters, repository gauges — see
@@ -39,6 +45,7 @@ func main() {
 	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "write the concurrent-search report as JSON to this file")
 	persistence := flag.Bool("persistence", false, "run the durability benchmark: WAL append/fsync throughput per sync policy, snapshot and recovery cost")
 	persistOut := flag.String("persistence-out", "BENCH_persistence.json", "write the durability report as JSON to this file")
+	traceOverhead := flag.Bool("trace-overhead", false, "measure request-tracing overhead at 0%, 1% and 100% sampling vs an untraced baseline")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-bench:", err)
@@ -56,8 +63,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var traceReport *experiments.TraceOverheadReport
+	if *traceOverhead {
+		var err error
+		if traceReport, err = runTraceOverhead(*scale); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
+	}
 	if *obsOut != "" {
-		if err := writeObsSnapshot(*obsOut, *scale, *experiment); err != nil {
+		if err := writeObsSnapshot(*obsOut, *scale, *experiment, traceReport); err != nil {
 			fmt.Fprintln(os.Stderr, "mie-bench:", err)
 			os.Exit(1)
 		}
@@ -139,16 +154,33 @@ func runPersistence(scale, outPath string) error {
 	return nil
 }
 
+// runTraceOverhead measures the tracing subsystem's latency cost and prints
+// the comparison; the report also rides along in BENCH_obs.json.
+func runTraceOverhead(scale string) (*experiments.TraceOverheadReport, error) {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return nil, err
+	}
+	report, err := experiments.TraceOverheadExperiment(cfg, 4, 150)
+	if err != nil {
+		return nil, fmt.Errorf("trace overhead: %w", err)
+	}
+	experiments.WriteTraceReport(os.Stdout, report)
+	return report, nil
+}
+
 // obsReport is the BENCH_obs.json document: run parameters plus the full
 // registry snapshot accumulated while the experiments exercised the engine.
 type obsReport struct {
 	Scale      string       `json:"scale"`
 	Experiment string       `json:"experiment"`
 	Metrics    obs.Snapshot `json:"metrics"`
+	// TraceOverhead is present when the run included -trace-overhead.
+	TraceOverhead *experiments.TraceOverheadReport `json:"trace_overhead,omitempty"`
 }
 
-func writeObsSnapshot(path, scale, experiment string) error {
-	report := obsReport{Scale: scale, Experiment: experiment, Metrics: obs.Default().Snapshot()}
+func writeObsSnapshot(path, scale, experiment string, traceReport *experiments.TraceOverheadReport) error {
+	report := obsReport{Scale: scale, Experiment: experiment, Metrics: obs.Default().Snapshot(), TraceOverhead: traceReport}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return fmt.Errorf("marshal obs snapshot: %w", err)

@@ -14,6 +14,12 @@
 //	mie-client -server host:7709 -key repo.key -image query.pgm search photos "beach"
 //	mie-client -server host:7709 -key repo.key get photos obj1
 //	mie-client -server host:7709 -key repo.key remove photos obj1
+//	mie-client -server host:7709 -key repo.key -trace search photos "beach"
+//
+// -trace forces a distributed trace for the command and prints the merged
+// span tree — the client-side operation spans plus the server-side dispatch,
+// engine and WAL spans fetched back over the wire — so one flag shows where
+// a request's time went end to end.
 //
 // For simplicity the CLI derives per-object data keys from the repository
 // key; applications wanting fine-grained access control supply their own.
@@ -42,6 +48,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-command deadline, carried to the server over the wire (0 = none)")
 	imagePath := flag.String("image", "", "PGM image for query-by-example searches")
 	verbose := flag.Bool("v", false, "log per-operation client-side timings to stderr")
+	trace := flag.Bool("trace", false, "trace the command end to end and print the merged client+server span tree to stderr")
 	flag.Parse()
 	logger := obs.Nop()
 	if *verbose {
@@ -54,7 +61,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	err := run(ctx, *serverAddr, *keyFile, *k, *imagePath, flag.Args())
+	err := run(ctx, *serverAddr, *keyFile, *k, *imagePath, *trace, flag.Args())
 	cmd := ""
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
@@ -72,7 +79,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, serverAddr, keyFile string, k int, imagePath string, args []string) error {
+func run(ctx context.Context, serverAddr, keyFile string, k int, imagePath string, trace bool, args []string) error {
 	if len(args) == 0 {
 		return errors.New("missing command (keygen|create|add|train|search|get|remove)")
 	}
@@ -102,6 +109,17 @@ func run(ctx context.Context, serverAddr, keyFile string, k int, imagePath strin
 		return fmt.Errorf("%s: missing repository name", cmd)
 	}
 	repoID, args := args[0], args[1:]
+
+	// -trace: force a client-originated trace so the whole command — Open's
+	// RPCs included — lands in one span tree, and mark where the command
+	// starts with a root span named after it.
+	var at *obs.ActiveTrace
+	var rootSp *obs.Span
+	if trace {
+		ctx, at = obs.DefaultTracer().ForceTrace(ctx)
+		ctx, rootSp = obs.StartSpan(ctx, obs.Default(), "cli/"+cmd)
+	}
+
 	repo, err := mie.Open(ctx, mie.Options{
 		Addr:   serverAddr,
 		Client: client,
@@ -114,6 +132,16 @@ func run(ctx context.Context, serverAddr, keyFile string, k int, imagePath strin
 	defer func() { _ = repo.Close() }()
 
 	dataKey := crypto.DeriveKey(key.Master, "cli-data-key")
+	err = runCommand(ctx, repo, cmd, repoID, args, k, imagePath, dataKey)
+	if at != nil {
+		rootSp.SetError(err)
+		rootSp.End()
+		printTrace(repo, at.Finish())
+	}
+	return err
+}
+
+func runCommand(ctx context.Context, repo mie.Repository, cmd, repoID string, args []string, k int, imagePath string, dataKey mie.DataKey) error {
 	switch cmd {
 	case "create":
 		fmt.Printf("repository %q created\n", repoID)
@@ -201,6 +229,31 @@ func run(ctx context.Context, serverAddr, keyFile string, k int, imagePath strin
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printTrace renders the command's merged span tree to stderr: the local
+// client-side fragment plus — when the repository is remote — the server-side
+// fragment fetched back by trace id. The server keeps traces asynchronously
+// after answering, so the fetch retries briefly.
+func printTrace(repo mie.Repository, local *mie.Trace) {
+	if local == nil {
+		return
+	}
+	traces := []*mie.Trace{local}
+	if tf, ok := repo.(mie.TraceFetcher); ok {
+		// Fresh context: fetching the trace must not extend the trace.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		for attempt := 0; attempt < 5; attempt++ {
+			remote, err := tf.FetchTrace(ctx, local.TraceID)
+			if err == nil {
+				traces = append(traces, remote)
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "--- trace %s ---\n%s", obs.FormatTraceID(local.TraceID), obs.RenderTraceTree(traces...))
 }
 
 func loadPGM(path string) (*mie.Image, error) {

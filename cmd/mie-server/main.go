@@ -6,6 +6,7 @@
 //
 //	mie-server [-addr :7709] [-data-dir /var/lib/mie] [-snapshot-every 5m]
 //	           [-wal-sync always] [-debug-addr 127.0.0.1:7710] [-log-level info]
+//	           [-trace-sample 0.01] [-slow-ms 250]
 //
 // With -data-dir the server is crash-safe: every acknowledged Update/Remove
 // is appended to a per-repository write-ahead log before the client sees
@@ -16,16 +17,22 @@
 // writes survive power loss), "interval" (fsync on a timer; a crash may
 // lose the last interval's writes) or "never" (fastest; the OS decides).
 // With -debug-addr it additionally serves the observability endpoint:
-// /metrics (plain-text exposition), /metrics.json, /debug/vars (expvar) and
-// /debug/pprof — bind it to a trusted interface only. The server holds no
+// /metrics (Prometheus text exposition), /metrics.json, /debug/traces
+// (recently kept request traces), /debug/leakage (per-repository leakage
+// profiles), /debug/vars (expvar) and /debug/pprof — bind it to a trusted
+// interface only. -trace-sample sets the head-sampling probability for
+// request traces; -slow-ms additionally keeps a trace for any request slower
+// than the threshold regardless of sampling (0 disables tail capture). The server holds no
 // key material: everything it stores and computes on is encrypted or encoded
 // client-side. Point mie-client (or any program built on the public mie
 // package) at its address.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,19 +51,26 @@ func main() {
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval or never")
 	debugAddr := flag.String("debug-addr", "", "observability HTTP address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling probability for request traces in [0,1]")
+	slowMS := flag.Int("slow-ms", 250, "keep a trace and log a warning for requests slower than this many milliseconds (0 = disabled)")
 	flag.Parse()
-	if err := run(*addr, *dataDir, *snapEvery, *walSync, *debugAddr, *logLevel); err != nil {
+	if err := run(*addr, *dataDir, *snapEvery, *walSync, *debugAddr, *logLevel, *traceSample, *slowMS); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logLevel string) error {
+func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logLevel string, traceSample float64, slowMS int) error {
 	level, err := obs.ParseLevel(logLevel)
 	if err != nil {
 		return err
 	}
 	logger := obs.NewLogger(os.Stderr, level)
+
+	tracer := obs.DefaultTracer()
+	tracer.SetSampleRate(traceSample)
+	tracer.SetSlowThreshold(time.Duration(slowMS) * time.Millisecond)
+	tracer.SetLogger(logger)
 
 	svc := core.NewService()
 	if dataDir != "" {
@@ -84,14 +98,16 @@ func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logL
 	}
 
 	if debugAddr != "" {
-		dbg, err := obs.ServeDebug(debugAddr, obs.Default(), logger)
+		dbg, err := obs.ServeDebug(debugAddr, obs.Default(), logger,
+			obs.WithTracer(tracer),
+			obs.WithHandler("/debug/leakage", leakageHandler(svc)))
 		if err != nil {
 			return err
 		}
 		defer func() { _ = dbg.Close() }()
 	}
 
-	srv, err := server.New(addr, svc, logger)
+	srv, err := server.New(addr, svc, logger, server.WithTracer(tracer))
 	if err != nil {
 		return err
 	}
@@ -133,4 +149,15 @@ func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logL
 		}
 	}
 	return srv.Close()
+}
+
+// leakageHandler serves the per-repository leakage profiles as JSON — what
+// the honest-but-curious cloud has observed so far (Table I, counted).
+func leakageHandler(svc *core.Service) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(svc.LeakageSummaries())
+	})
 }

@@ -83,6 +83,13 @@ func WithMaxRetries(n int) Option {
 	return func(c *Conn) { c.retries = n }
 }
 
+// WithTracer installs the distributed tracer client operations start traces
+// under (head sampling) and join (a trace already on the caller's context).
+// Defaults to obs.DefaultTracer().
+func WithTracer(t *obs.Tracer) Option {
+	return func(c *Conn) { c.tracer = t }
+}
+
 // Conn is a client connection to one MIE server.
 //
 // Every round trip records a client_request_seconds{kind=...} latency
@@ -94,6 +101,7 @@ type Conn struct {
 	addr     string
 	meter    *device.Meter
 	reg      *obs.Registry
+	tracer   *obs.Tracer
 	lockstep bool
 	retries  int
 
@@ -113,6 +121,9 @@ func Dial(addr string, meter *device.Meter, opts ...Option) (*Conn, error) {
 	}
 	if c.reg == nil {
 		c.reg = obs.Default()
+	}
+	if c.tracer == nil {
+		c.tracer = obs.DefaultTracer()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -401,6 +412,7 @@ func (c *Conn) muxCall(ctx context.Context, t *transport, kind string, req inter
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	stampTrace(ctx, env)
 	res := make(chan writeResult, 1)
 	select {
 	case t.writeq <- outFrame{env: env, res: res}:
@@ -458,6 +470,7 @@ func (c *Conn) lockstepCall(ctx context.Context, t *transport, kind string, req 
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	stampTrace(ctx, env)
 	t.lsMu.Lock()
 	defer t.lsMu.Unlock()
 	if dl, ok := ctx.Deadline(); ok {
@@ -504,8 +517,23 @@ func transient(err error) bool {
 // the given cost category. Idempotent calls that hit a transport error are
 // retried on a fresh connection with capped exponential backoff.
 func (c *Conn) roundTrip(ctx context.Context, cat device.Category, kind string, idempotent bool, req, resp interface{}) (err error) {
+	// Join the caller's trace, or — when none — let the head sampler decide
+	// whether this operation starts a client-originated one. A trace started
+	// here is also finished here (the operation is its root); a caller-owned
+	// trace is left for the caller to finish.
+	if obs.TraceFromContext(ctx) == nil {
+		var at *obs.ActiveTrace
+		ctx, at = c.tracer.StartTrace(ctx)
+		if at != nil {
+			defer at.Finish()
+		}
+	}
+	var sp *obs.Span
+	ctx, sp = obs.StartSpan(ctx, c.reg, "op/"+kind)
 	start := time.Now()
 	defer func() {
+		sp.SetError(err)
+		sp.End()
 		c.reg.Histogram(obs.L("client_request_seconds", "kind", kind)).Observe(time.Since(start).Seconds())
 		if err != nil {
 			c.reg.Counter(obs.L("client_request_errors_total", "kind", kind)).Inc()
@@ -657,4 +685,46 @@ func trainJobResult(resp wire.TrainJobResp) (wire.TrainJobStatus, error) {
 		return wire.TrainJobStatus{}, &RemoteError{Msg: resp.Err}
 	}
 	return resp.Job, nil
+}
+
+// stampTrace copies the caller's span context, if any, onto an outgoing
+// envelope so the server joins the same trace.
+func stampTrace(ctx context.Context, env *wire.Envelope) {
+	if sc := obs.SpanContextFrom(ctx); sc.TraceID != 0 {
+		env.TraceID = sc.TraceID
+		env.SpanID = sc.SpanID
+		env.TraceSampled = sc.Sampled
+	}
+}
+
+// FetchTrace retrieves the server-side half of a completed trace by id —
+// how mie-client -trace shows the cloud's span tree for the request it just
+// made. Call it with a fresh (untraced) context so the fetch itself does not
+// produce another trace under the same id.
+func (c *Conn) FetchTrace(ctx context.Context, traceID uint64) (*obs.Trace, error) {
+	var resp wire.TraceResp
+	if err := c.roundTrip(ctx, device.Network, wire.KindTraceGet, true, wire.TraceGetReq{TraceID: traceID}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	tr := &obs.Trace{
+		TraceID:       resp.TraceID,
+		Root:          resp.Root,
+		StartUnixNano: resp.StartUnixNano,
+		DurationNanos: resp.DurationNanos,
+		Reason:        resp.Reason,
+	}
+	for _, s := range resp.Spans {
+		tr.Spans = append(tr.Spans, obs.SpanRecord{
+			SpanID:        s.SpanID,
+			ParentID:      s.ParentID,
+			Name:          s.Name,
+			StartUnixNano: s.StartUnixNano,
+			DurationNanos: s.DurationNanos,
+			Err:           s.Err,
+		})
+	}
+	return tr, nil
 }

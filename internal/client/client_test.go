@@ -14,6 +14,7 @@ import (
 
 	"mie/internal/core"
 	"mie/internal/device"
+	"mie/internal/leakcheck"
 	"mie/internal/obs"
 	"mie/internal/wire"
 )
@@ -143,6 +144,7 @@ func TestGetRespError(t *testing.T) {
 }
 
 func TestConnClosedMidRequest(t *testing.T) {
+	leakcheck.Check(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +202,7 @@ func TestSetTokenIsAttached(t *testing.T) {
 }
 
 func TestMuxInterleavedResponses(t *testing.T) {
+	leakcheck.Check(t)
 	// 100 concurrent callers share one connection. The server collects every
 	// request before answering any, then replies in a shuffled order — the
 	// demux must still route each response to the caller whose ID it echoes.
@@ -468,6 +471,7 @@ func TestMutationNotRetried(t *testing.T) {
 }
 
 func TestCallsAfterCloseFail(t *testing.T) {
+	leakcheck.Check(t)
 	addr := fakeServer(t, wire.KindAck, wire.Ack{})
 	c, err := Dial(addr, nil)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -133,13 +134,19 @@ var ErrEmptyObject = errors.New("core: object has no modalities")
 // object under its data key (Encrypt cost). The server never sees the
 // plaintext object or features.
 func (c *Client) PrepareUpdate(obj *Object, dataKey crypto.Key) (*Update, error) {
+	return c.PrepareUpdateContext(context.Background(), obj, dataKey)
+}
+
+// PrepareUpdateContext is PrepareUpdate carrying the caller's context, so
+// the extract/encode spans join the request's distributed trace.
+func (c *Client) PrepareUpdateContext(ctx context.Context, obj *Object, dataKey crypto.Key) (*Update, error) {
 	if obj.ID == "" {
 		return nil, errors.New("core: object needs an ID")
 	}
 	if obj.Text == "" && obj.Image == nil && obj.Audio == nil {
 		return nil, ErrEmptyObject
 	}
-	sp := obs.StartSpan(obs.Default(), "client/prepare_update")
+	_, sp := obs.StartSpan(ctx, obs.Default(), "client/prepare_update")
 	defer sp.End()
 	esp := sp.Child("extract")
 	hist, descs, audioDescs := c.extractFeatures(obj)
@@ -175,13 +182,18 @@ func (c *Client) PrepareUpdate(obj *Object, dataKey crypto.Key) (*Update, error)
 // processed exactly like an update — extract, encode — but nothing is
 // encrypted or stored.
 func (c *Client) PrepareQuery(obj *Object, k int) (*Query, error) {
+	return c.PrepareQueryContext(context.Background(), obj, k)
+}
+
+// PrepareQueryContext is PrepareQuery carrying the caller's context.
+func (c *Client) PrepareQueryContext(ctx context.Context, obj *Object, k int) (*Query, error) {
 	if k <= 0 {
 		return nil, errors.New("core: k must be positive")
 	}
 	if obj.Text == "" && obj.Image == nil && obj.Audio == nil {
 		return nil, ErrEmptyObject
 	}
-	sp := obs.StartSpan(obs.Default(), "client/prepare_query")
+	_, sp := obs.StartSpan(ctx, obs.Default(), "client/prepare_query")
 	defer sp.End()
 	esp := sp.Child("extract")
 	hist, descs, audioDescs := c.extractFeatures(obj)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -182,7 +183,7 @@ func LoadService(opts DurableOptions, indexOpts *RepositoryOptions) (*Service, *
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: read data dir: %w", err)
 	}
-	sp := obs.StartSpan(obs.Default(), "service/recovery")
+	_, sp := obs.StartSpan(context.Background(), obs.Default(), "service/recovery")
 	defer sp.End()
 	var loadErrs []string
 	snapStems := make(map[string]bool)

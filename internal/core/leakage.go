@@ -43,7 +43,9 @@ func newLeakage() *Leakage {
 	}
 }
 
-func (l *Leakage) recordUpdate(up *Update) {
+// recordUpdate logs one update's leakage and returns the revealed token-
+// frequency mass (the freq(w) update leakage), for the telemetry counters.
+func (l *Leakage) recordUpdate(up *Update) (tokenMass uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.updates++
@@ -51,8 +53,10 @@ func (l *Leakage) recordUpdate(up *Update) {
 	for tok, freq := range up.TextTokens {
 		l.updateTokens[tok] += freq
 		obs.Tokens[tok] = freq
+		tokenMass += freq
 	}
 	l.observations = append(l.observations, obs)
+	return tokenMass
 }
 
 // UpdateObservations returns a copy of the per-update leakage log, in
@@ -65,15 +69,23 @@ func (l *Leakage) UpdateObservations() []UpdateObservation {
 	return out
 }
 
-func (l *Leakage) recordSearch(q *Query) {
+// recordSearch logs one query's leakage and returns how many of its tokens
+// the server had already seen in earlier queries — the search-pattern
+// repeats that make queries linkable.
+func (l *Leakage) recordSearch(q *Query) (repeats int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.searches++
 	for tok := range q.TextTokens {
+		if l.searchTokens[tok] > 0 {
+			repeats++
+		}
 		l.searchTokens[tok]++
 	}
+	return repeats
 }
 
+// recordAccess logs one ID(d) access-pattern reveal.
 func (l *Leakage) recordAccess(objectID string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -109,6 +121,13 @@ func (l *Leakage) DistinctUpdateTokens() int {
 	return len(l.updateTokens)
 }
 
+// distinctSearchTokens returns how many distinct token ids queries revealed.
+func (l *Leakage) distinctSearchTokens() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.searchTokens)
+}
+
 // SearchTokenCount returns how many times a token id appeared in queries.
 func (l *Leakage) SearchTokenCount(tok dpe.Token) uint64 {
 	l.mu.Lock()
@@ -128,4 +147,55 @@ func (l *Leakage) Ops() (updates, removes, searches, trains int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.updates, l.removes, l.searches, l.trains
+}
+
+// LeakageSummary is the aggregate leakage profile of one repository — the
+// quantities Table I says MIE reveals, counted rather than assumed, in the
+// spirit of arXiv 1909.11624's "measure the leakage" position.
+type LeakageSummary struct {
+	// Operation counts.
+	Updates  int `json:"updates"`
+	Removes  int `json:"removes"`
+	Searches int `json:"searches"`
+	Trains   int `json:"trains"`
+	// Update leakage: distinct deterministic token ids revealed by updates
+	// (ID(w)) and their total revealed frequency mass (freq(w)).
+	DistinctUpdateTokens int    `json:"distinct_update_tokens"`
+	UpdateTokenMass      uint64 `json:"update_token_mass"`
+	// Search-pattern leakage: distinct token ids queried (ID(w)) and total
+	// repeat observations — queries whose tokens the server had seen before
+	// and can therefore link.
+	DistinctSearchTokens int    `json:"distinct_search_tokens"`
+	SearchTokenRepeats   uint64 `json:"search_token_repeats"`
+	// Access-pattern leakage: distinct object ids revealed (ID(d)) and
+	// total reveals across searches and gets.
+	DistinctObjectsAccessed int    `json:"distinct_objects_accessed"`
+	AccessReveals           uint64 `json:"access_reveals"`
+}
+
+// Summary aggregates the leakage log into its per-repository profile.
+func (l *Leakage) Summary() LeakageSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LeakageSummary{
+		Updates:                 l.updates,
+		Removes:                 l.removes,
+		Searches:                l.searches,
+		Trains:                  l.trains,
+		DistinctUpdateTokens:    len(l.updateTokens),
+		DistinctSearchTokens:    len(l.searchTokens),
+		DistinctObjectsAccessed: len(l.accessed),
+	}
+	for _, freq := range l.updateTokens {
+		s.UpdateTokenMass += freq
+	}
+	for _, n := range l.searchTokens {
+		if n > 1 {
+			s.SearchTokenRepeats += n - 1
+		}
+	}
+	for _, n := range l.accessed {
+		s.AccessReveals += uint64(n)
+	}
+	return s
 }

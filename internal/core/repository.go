@@ -23,13 +23,21 @@ import (
 // repoMetrics holds a repository's observability handles. Phase timings
 // (train, index build, per-modality search, fusion) land in the process
 // registry as phase_seconds{phase=repo/...} histograms — the cloud-side half
-// of the paper's latency breakdowns — and the gauges track repository and
-// codebook sizes.
+// of the paper's latency breakdowns — the gauges track repository and
+// codebook sizes, and the leak* counters surface the paper's leakage profile
+// (ID(d) access pattern, ID(w) search-pattern repeats, freq(w) update
+// leakage) as live per-repository telemetry.
 type repoMetrics struct {
 	reg             *obs.Registry
 	objects         *obs.Gauge
 	vocabWords      *obs.Gauge
 	audioVocabWords *obs.Gauge
+
+	leakAccessReveals  *obs.Counter
+	leakSearchRepeats  *obs.Counter
+	leakUpdateTokens   *obs.Counter
+	leakSearchDistinct *obs.Gauge
+	leakUpdateDistinct *obs.Gauge
 }
 
 func newRepoMetrics(reg *obs.Registry, id string) *repoMetrics {
@@ -38,6 +46,12 @@ func newRepoMetrics(reg *obs.Registry, id string) *repoMetrics {
 		objects:         reg.Gauge(obs.L("repo_objects", "repo", id)),
 		vocabWords:      reg.Gauge(obs.L("repo_vocab_words", "repo", id)),
 		audioVocabWords: reg.Gauge(obs.L("repo_audio_vocab_words", "repo", id)),
+
+		leakAccessReveals:  reg.Counter(obs.L("repo_leak_access_reveals_total", "repo", id)),
+		leakSearchRepeats:  reg.Counter(obs.L("repo_leak_search_repeats_total", "repo", id)),
+		leakUpdateTokens:   reg.Counter(obs.L("repo_leak_update_token_mass_total", "repo", id)),
+		leakSearchDistinct: reg.Gauge(obs.L("repo_leak_distinct_search_tokens", "repo", id)),
+		leakUpdateDistinct: reg.Gauge(obs.L("repo_leak_distinct_update_tokens", "repo", id)),
 	}
 }
 
@@ -279,10 +293,16 @@ func (r *Repository) codebookSize(m Modality) int {
 // modality, or (on an index error) the previous state — prior object and
 // postings, or absence — is restored and the error returned.
 func (r *Repository) Update(up *Update) error {
+	return r.UpdateContext(context.Background(), up)
+}
+
+// UpdateContext is Update carrying the caller's context, so the update's
+// phase spans (index, wal_append) join the request's distributed trace.
+func (r *Repository) UpdateContext(ctx context.Context, up *Update) error {
 	if up.ObjectID == "" {
 		return errors.New("core: update needs an object id")
 	}
-	sp := obs.StartSpan(r.met.reg, "repo/update")
+	_, sp := obs.StartSpan(ctx, r.met.reg, "repo/update")
 	defer sp.End()
 	obj := &storedObject{
 		owner:      up.Owner,
@@ -334,7 +354,8 @@ func (r *Repository) Update(up *Update) error {
 		cl.recs = append(cl.recs, changeRec{epoch: st.epoch, id: up.ObjectID, obj: obj})
 	}
 	r.met.objects.Set(int64(r.objects.Len()))
-	r.leak.recordUpdate(up)
+	r.met.leakUpdateTokens.Add(int64(r.leak.recordUpdate(up)))
+	r.met.leakUpdateDistinct.Set(int64(r.leak.DistinctUpdateTokens()))
 	return nil
 }
 
@@ -376,11 +397,18 @@ func indexObject(st *repoState, id string, obj *storedObject) error {
 // removal is logged before it is applied; a WAL error leaves the object in
 // place and is returned.
 func (r *Repository) Remove(objectID string) error {
+	return r.RemoveContext(context.Background(), objectID)
+}
+
+// RemoveContext is Remove carrying the caller's context for tracing.
+func (r *Repository) RemoveContext(ctx context.Context, objectID string) error {
+	_, sp := obs.StartSpan(ctx, r.met.reg, "repo/remove")
+	defer sp.End()
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	st := r.state.Load()
 	if _, exists := r.objects.Get(objectID); exists {
-		if err := r.walAppend(nil, &walRecord{Remove: true, ObjectID: objectID}); err != nil {
+		if err := r.walAppend(sp, &walRecord{Remove: true, ObjectID: objectID}); err != nil {
 			return err
 		}
 	}
@@ -463,11 +491,21 @@ func (r *Repository) attachWAL(l *wal.Log) {
 // Get returns the stored ciphertext and owner of an object (the read path
 // of the system model). Lock-free: it goes straight to the store.
 func (r *Repository) Get(objectID string) (ciphertext []byte, owner string, err error) {
+	return r.GetContext(context.Background(), objectID)
+}
+
+// GetContext is Get carrying the caller's context for tracing.
+func (r *Repository) GetContext(ctx context.Context, objectID string) (ciphertext []byte, owner string, err error) {
+	_, sp := obs.StartSpan(ctx, r.met.reg, "repo/get")
+	defer sp.End()
 	obj, ok := r.objects.Get(objectID)
 	if !ok {
-		return nil, "", fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
+		err = fmt.Errorf("%w: %s", ErrUnknownObject, objectID)
+		sp.SetError(err)
+		return nil, "", err
 	}
 	r.leak.recordAccess(objectID)
+	r.met.leakAccessReveals.Inc()
 	return obj.ciphertext, obj.owner, nil
 }
 
@@ -493,7 +531,7 @@ func (r *Repository) Train() error { return r.TrainContext(context.Background())
 // serving, untouched. It is the engine half of the wire protocol's
 // deadline-aware Train.
 func (r *Repository) TrainContext(ctx context.Context) error {
-	sp := obs.StartSpan(r.met.reg, "repo/train")
+	_, sp := obs.StartSpan(ctx, r.met.reg, "repo/train")
 	defer sp.End()
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
@@ -717,7 +755,13 @@ func (r *Repository) indexOptions(modality string, epoch uint64) index.Options {
 // ranked scan over stored encodings (before), then logarithmic ISR rank
 // fusion across modalities and truncation to the top k.
 func (r *Repository) Search(q *Query) ([]SearchHit, error) {
-	return r.SearchWithFusion(q, fusion.LogISR)
+	return r.SearchWithFusionContext(context.Background(), q, fusion.LogISR)
+}
+
+// SearchContext is Search carrying the caller's context, so the fan-out
+// lookup, fusion and collect spans join the request's distributed trace.
+func (r *Repository) SearchContext(ctx context.Context, q *Query) ([]SearchHit, error) {
+	return r.SearchWithFusionContext(ctx, q, fusion.LogISR)
 }
 
 // SearchWithFusion is Search with an explicit rank-fusion formula; the
@@ -729,13 +773,18 @@ func (r *Repository) Search(q *Query) ([]SearchHit, error) {
 // the whole path is lock-free against the repository (epoch load + store
 // shard reads only) and therefore never blocks on a concurrent Train.
 func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchHit, error) {
+	return r.SearchWithFusionContext(context.Background(), q, method)
+}
+
+// SearchWithFusionContext is SearchWithFusion carrying the caller's context.
+func (r *Repository) SearchWithFusionContext(ctx context.Context, q *Query, method fusion.Method) ([]SearchHit, error) {
 	if q.K <= 0 {
 		return nil, errors.New("core: query k must be positive")
 	}
 	if hook := searchStartHook; hook != nil {
 		hook()
 	}
-	sp := obs.StartSpan(r.met.reg, "repo/search")
+	_, sp := obs.StartSpan(ctx, r.met.reg, "repo/search")
 	defer sp.End()
 	st := r.state.Load()
 
@@ -780,6 +829,7 @@ func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchH
 			continue
 		}
 		r.leak.recordAccess(string(res.Doc))
+		r.met.leakAccessReveals.Inc()
 		hits = append(hits, SearchHit{
 			ObjectID:   string(res.Doc),
 			Owner:      obj.owner,
@@ -788,7 +838,8 @@ func (r *Repository) SearchWithFusion(q *Query, method fusion.Method) ([]SearchH
 		})
 	}
 	csp.End()
-	r.leak.recordSearch(q)
+	r.met.leakSearchRepeats.Add(int64(r.leak.recordSearch(q)))
+	r.met.leakSearchDistinct.Set(int64(r.leak.distinctSearchTokens()))
 	return hits, nil
 }
 

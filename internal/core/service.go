@@ -83,6 +83,18 @@ func (s *Service) Repositories() []string {
 	return out
 }
 
+// LeakageSummaries returns the per-repository leakage profiles, keyed by
+// repository id — the payload of the server's /debug/leakage endpoint.
+func (s *Service) LeakageSummaries() map[string]LeakageSummary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]LeakageSummary, len(s.repos))
+	for id, r := range s.repos {
+		out[id] = r.leak.Summary()
+	}
+	return out
+}
+
 // DropRepository removes a repository and releases its resources. On a
 // durable service its on-disk snapshot and log are deleted too — snapshot
 // first, so a crash mid-drop can at worst leave an orphaned log (pruned on

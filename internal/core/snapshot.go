@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -56,7 +57,7 @@ func (r *Repository) Snapshot(w io.Writer) error {
 // snapshotLocked is Snapshot with writeMu already held, so saveTo can take
 // the snapshot and rotate the write-ahead log as one consistent cut.
 func (r *Repository) snapshotLocked(w io.Writer) error {
-	sp := obs.StartSpan(r.met.reg, "repo/snapshot")
+	_, sp := obs.StartSpan(context.Background(), r.met.reg, "repo/snapshot")
 	defer sp.End()
 	st := r.state.Load()
 	snap := snapshot{

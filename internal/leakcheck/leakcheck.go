@@ -1,0 +1,53 @@
+// Package leakcheck is a stdlib-only goroutine-leak sentinel for tests.
+// Server connections, the client mux transport and async train jobs all
+// spawn goroutines whose lifecycles are supposed to end with Close; a test
+// that passes while leaving goroutines behind hides exactly the bugs those
+// lifecycles exist to prevent. Call Check at the top of a test:
+//
+//	func TestServerClose(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+//
+// At cleanup time the sentinel waits for the process goroutine count to
+// return to its starting level and fails the test with a full stack dump if
+// it does not. Counts, not goroutine identities, keep it dependency-free;
+// the retry loop absorbs goroutines that are mid-exit when the test ends.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits for stragglers to exit before declaring a
+// leak. Closing a server tears down connection goroutines asynchronously,
+// so a freshly passed test legitimately has a few mid-exit.
+const grace = 2 * time.Second
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// the test if the count has not returned to the baseline after the test
+// body (and all inner cleanups) finish. Register it first so its cleanup
+// runs last, after the test's own Close/shutdown cleanups.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines still running, started with %d; stacks:\n%s", n, base, buf)
+	})
+}

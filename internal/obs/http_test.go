@@ -38,11 +38,17 @@ func TestDebugServerEndpoints(t *testing.T) {
 	base := "http://" + d.Addr()
 
 	metrics := getBody(t, base+"/metrics")
-	if !strings.Contains(metrics, "server_requests_total{kind=search} 2") {
+	if !strings.Contains(metrics, `server_requests_total{kind="search"} 2`) {
 		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "# TYPE server_requests_total counter") {
+		t.Errorf("/metrics missing TYPE header:\n%s", metrics)
 	}
 	if !strings.Contains(metrics, "request_seconds_count 1") {
 		t.Errorf("/metrics missing histogram:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "go_goroutines") {
+		t.Errorf("/metrics missing runtime metrics:\n%s", metrics)
 	}
 
 	var snap Snapshot

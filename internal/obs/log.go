@@ -62,7 +62,18 @@ func ParseLevel(s string) (Level, error) {
 // shape makes server logs greppable per field and machine-parsable without a
 // log pipeline. A nil *Logger discards everything, so callers never need
 // nil checks.
+//
+// With derives a child logger carrying pre-rendered context pairs (e.g. the
+// remote address and protocol version of one connection); children share the
+// parent's writer, lock and level, so SetLevel on any of them affects all.
 type Logger struct {
+	sink *logSink
+	// ctx is the pre-rendered " k=v" context suffix added after msg.
+	ctx string
+}
+
+// logSink is the shared output state behind a family of With-derived loggers.
+type logSink struct {
 	mu  sync.Mutex
 	w   io.Writer
 	min atomic.Int32
@@ -70,28 +81,47 @@ type Logger struct {
 
 // NewLogger writes events at or above min to w.
 func NewLogger(w io.Writer, min Level) *Logger {
-	l := &Logger{w: w}
-	l.min.Store(int32(min))
+	l := &Logger{sink: &logSink{w: w}}
+	l.sink.min.Store(int32(min))
 	return l
 }
 
 // Nop returns a logger that discards everything.
 func Nop() *Logger {
-	l := &Logger{w: io.Discard}
-	l.min.Store(int32(levelOff))
+	l := &Logger{sink: &logSink{w: io.Discard}}
+	l.sink.min.Store(int32(levelOff))
 	return l
 }
 
-// SetLevel changes the minimum emitted level at runtime.
+// With returns a logger that adds the given key/value pairs to every event,
+// after msg and before per-event pairs. Context renders once, here, not per
+// event.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	var b strings.Builder
+	b.WriteString(l.ctx)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		b.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
+	}
+	return &Logger{sink: l.sink, ctx: b.String()}
+}
+
+// SetLevel changes the minimum emitted level at runtime (for the whole
+// With-family sharing this logger's output).
 func (l *Logger) SetLevel(min Level) {
 	if l != nil {
-		l.min.Store(int32(min))
+		l.sink.min.Store(int32(min))
 	}
 }
 
 // Enabled reports whether events at lv would be emitted.
 func (l *Logger) Enabled(lv Level) bool {
-	return l != nil && lv >= Level(l.min.Load())
+	return l != nil && lv >= Level(l.sink.min.Load())
 }
 
 // Debug logs a debug event with alternating key/value pairs.
@@ -117,6 +147,7 @@ func (l *Logger) log(lv Level, msg string, kv ...any) {
 	b.WriteString(lv.String())
 	b.WriteString(" msg=")
 	b.WriteString(quoteValue(msg))
+	b.WriteString(l.ctx)
 	for i := 0; i+1 < len(kv); i += 2 {
 		b.WriteByte(' ')
 		b.WriteString(fmt.Sprint(kv[i]))
@@ -128,9 +159,9 @@ func (l *Logger) log(lv Level, msg string, kv ...any) {
 		b.WriteString(quoteValue(fmt.Sprint(kv[len(kv)-1])))
 	}
 	b.WriteByte('\n')
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	_, _ = io.WriteString(l.w, b.String())
+	l.sink.mu.Lock()
+	defer l.sink.mu.Unlock()
+	_, _ = io.WriteString(l.sink.w, b.String())
 }
 
 // quoteValue quotes values containing spaces, quotes or control characters

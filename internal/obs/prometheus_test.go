@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition output: family ordering by
+// name, series ordering within a family, bucket order by ascending bound
+// (NOT lexical — le="10" must follow le="2.5"), label quoting and escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(L("requests_total", "kind", "search")).Add(3)
+	r.Counter(L("requests_total", "kind", "update")).Add(1)
+	r.Counter("plain_total").Add(7)
+	r.Gauge(L("repositories", "shard", "a")).Set(2)
+	// Label values exercising every escape: backslash, quote, newline.
+	r.Counter(L("weird_total", "path", `C:\tmp`, "msg", "say \"hi\"\nbye")).Inc()
+	h := r.Histogram(L("latency_seconds", "op", "search"), 0.5, 2.5, 10)
+	h.Observe(0.25) // le=0.5
+	h.Observe(3)    // le=10
+	h.Observe(99)   // +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE latency_seconds histogram
+latency_seconds_bucket{op="search",le="0.5"} 1
+latency_seconds_bucket{op="search",le="2.5"} 1
+latency_seconds_bucket{op="search",le="10"} 2
+latency_seconds_bucket{op="search",le="+Inf"} 3
+latency_seconds_sum{op="search"} 102.25
+latency_seconds_count{op="search"} 3
+# TYPE plain_total counter
+plain_total 7
+# TYPE repositories gauge
+repositories{shard="a"} 2
+# TYPE requests_total counter
+requests_total{kind="search"} 3
+requests_total{kind="update"} 1
+# TYPE weird_total counter
+weird_total{path="C:\\tmp",msg="say \"hi\"\nbye"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Output must be byte-stable across scrapes (map iteration must not leak
+	// into the ordering).
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		if err := r.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != b.String() {
+			t.Fatalf("scrape %d differs:\n%s", i, again.String())
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// traceRing is a bounded lock-free ring of completed traces. Writers claim a
+// slot with one atomic fetch-add and publish the trace with one atomic
+// pointer store; a full ring overwrites the oldest entry. Readers snapshot
+// whatever is published without blocking writers — a reader racing a writer
+// sees either the old or the new trace in a slot, never a torn one, which is
+// exactly the consistency a debugging endpoint needs.
+type traceRing struct {
+	slots []atomic.Pointer[Trace]
+	seq   atomic.Uint64
+	mask  uint64
+}
+
+// newTraceRing creates a ring holding at least capacity traces (rounded up
+// to a power of two so slot selection is a mask, not a modulo).
+func newTraceRing(capacity int) *traceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &traceRing{slots: make([]atomic.Pointer[Trace], n), mask: uint64(n - 1)}
+}
+
+// push publishes one completed trace, evicting the oldest if full.
+func (r *traceRing) push(t *Trace) {
+	i := r.seq.Add(1) - 1
+	r.slots[i&r.mask].Store(t)
+}
+
+// get returns the most recently pushed trace with the given id, if any.
+func (r *traceRing) get(traceID uint64) *Trace {
+	var best *Trace
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil && t.TraceID == traceID {
+			if best == nil || t.StartUnixNano > best.StartUnixNano {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// snapshot returns the published traces, most recent first.
+func (r *traceRing) snapshot() []*Trace {
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNano > out[j].StartUnixNano })
+	return out
+}

@@ -1,0 +1,26 @@
+package obs
+
+import "runtime"
+
+// UpdateRuntimeMetrics refreshes the Go runtime gauges in reg from the
+// current process state. The debug server calls it on every /metrics and
+// /metrics.json scrape, so runtime health (goroutine count, heap size, GC
+// behaviour) is sampled exactly as often as it is observed and costs
+// nothing between scrapes. Monotonic quantities (GC cycles, total pause)
+// are exposed as gauges because they are set from runtime snapshots rather
+// than accumulated through the Counter API.
+func UpdateRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("go_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	reg.Gauge("go_heap_inuse_bytes").Set(int64(ms.HeapInuse))
+	reg.Gauge("go_heap_objects").Set(int64(ms.HeapObjects))
+	reg.Gauge("go_sys_bytes").Set(int64(ms.Sys))
+	reg.Gauge("go_gc_cycles_total").Set(int64(ms.NumGC))
+	reg.Gauge("go_gc_pause_nanos_total").Set(int64(ms.PauseTotalNs))
+	reg.Gauge("go_next_gc_bytes").Set(int64(ms.NextGC))
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // timeNow is swappable for deterministic span tests.
 var timeNow = time.Now
@@ -13,31 +16,80 @@ var timeNow = time.Now
 // paper's phase-level breakdowns (client encode vs. cloud train/index/search)
 // on live traffic instead of in one-off experiments.
 //
-// Spans are cheap (two time.Now calls and one histogram observation) and
-// intentionally not goroutine-safe: a span belongs to the goroutine that
-// started it. A nil *Span is a valid no-op, so instrumented code does not
-// need nil registry checks.
+// When the surrounding context carries an ActiveTrace (see trace.go), a span
+// additionally records itself into the trace with a process-unique span id
+// and its parent's id — the cross-process span tree. The metrics path and
+// the trace tree are deliberately decoupled: StartSpan always begins a fresh
+// metrics path (so `repo/search` stays `repo/search` whether or not an RPC
+// span encloses it), while trace parentage flows through the context.
+//
+// Spans are cheap (two time.Now calls and one histogram observation, plus
+// one id and one record when traced) and intentionally not goroutine-safe: a
+// span belongs to the goroutine that started it. A nil *Span is a valid
+// no-op, so instrumented code does not need nil registry checks.
 type Span struct {
 	reg   *Registry
 	path  string
 	start time.Time
 	ended bool
+
+	// trace linkage; nil/zero when the request is untraced.
+	tr       *ActiveTrace
+	id       uint64
+	parentID uint64
+	errMsg   string
 }
 
-// StartSpan begins a root phase span. A nil registry yields a no-op span.
-func StartSpan(reg *Registry, name string) *Span {
+// StartSpan begins a root phase span (a fresh metrics path) and attaches it
+// to the returned context so nested StartSpan/ChildContext calls parent
+// under it in the trace tree. A nil registry yields a no-op span and the
+// context unchanged.
+func StartSpan(ctx context.Context, reg *Registry, name string) (context.Context, *Span) {
 	if reg == nil {
-		return nil
+		return ctx, nil
 	}
-	return &Span{reg: reg, path: name, start: timeNow()}
+	s := &Span{reg: reg, path: name, start: timeNow()}
+	if at := traceFrom(ctx); at != nil {
+		s.tr = at
+		s.id = newSpanID()
+		if parent := SpanFromContext(ctx); parent != nil && parent.tr == at {
+			s.parentID = parent.id
+		} else if at.rootID.Load() == 0 {
+			// First span of this side of the trace: parent under the remote
+			// caller's span so merged client+server trees nest.
+			s.parentID = at.remoteParent
+		}
+		at.rootID.CompareAndSwap(0, s.id)
+		ctx = context.WithValue(ctx, spanCtxKey{}, s)
+	}
+	return ctx, s
 }
 
-// Child begins a nested span whose path extends the parent's.
+// Child begins a nested span whose metrics path extends the parent's and
+// whose trace parent is the parent span. Use ChildContext when downstream
+// code must see the child via the context.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{reg: s.reg, path: s.path + "/" + name, start: timeNow()}
+	c := &Span{reg: s.reg, path: s.path + "/" + name, start: timeNow()}
+	if s.tr != nil {
+		c.tr = s.tr
+		c.id = newSpanID()
+		c.parentID = s.id
+	}
+	return c
+}
+
+// ChildContext is Child plus context attachment: the returned context
+// carries the child span, so spans started under it (possibly on the other
+// side of an API boundary) nest beneath it in the trace.
+func (s *Span) ChildContext(ctx context.Context, name string) (context.Context, *Span) {
+	c := s.Child(name)
+	if c != nil && c.tr != nil {
+		ctx = context.WithValue(ctx, spanCtxKey{}, c)
+	}
+	return ctx, c
 }
 
 // Path returns the span's full phase path.
@@ -48,8 +100,18 @@ func (s *Span) Path() string {
 	return s.path
 }
 
-// End stops the span, records its duration into the registry and returns it.
-// End is idempotent; only the first call records.
+// SetError marks the span failed; the message lands in the trace record and
+// makes the whole trace eligible for tail capture.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// End stops the span, records its duration into the registry (and into the
+// trace, when traced) and returns it. End is idempotent; only the first
+// call records.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
@@ -60,6 +122,16 @@ func (s *Span) End() time.Duration {
 	}
 	s.ended = true
 	s.reg.Histogram(L("phase_seconds", "phase", s.path)).Observe(d.Seconds())
+	if s.tr != nil {
+		s.tr.record(SpanRecord{
+			SpanID:        s.id,
+			ParentID:      s.parentID,
+			Name:          s.path,
+			StartUnixNano: s.start.UnixNano(),
+			DurationNanos: int64(d),
+			Err:           s.errMsg,
+		})
+	}
 	return d
 }
 

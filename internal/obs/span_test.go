@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -15,7 +16,7 @@ func TestSpanRecordsPhaseHierarchy(t *testing.T) {
 	defer func() { timeNow = time.Now }()
 
 	reg := NewRegistry()
-	sp := StartSpan(reg, "rpc/search")
+	_, sp := StartSpan(context.Background(), reg, "rpc/search")
 	child := sp.Child("decode")
 	child.End()
 	sp.Time("fusion", func() {})
@@ -34,7 +35,7 @@ func TestSpanRecordsPhaseHierarchy(t *testing.T) {
 
 func TestSpanEndIdempotent(t *testing.T) {
 	reg := NewRegistry()
-	sp := StartSpan(reg, "p")
+	_, sp := StartSpan(context.Background(), reg, "p")
 	sp.End()
 	sp.End()
 	if got := reg.Histogram(L("phase_seconds", "phase", "p")).Count(); got != 1 {
@@ -51,7 +52,7 @@ func TestNilSpanIsNoOp(t *testing.T) {
 		t.Error("nil Child should stay nil")
 	}
 	sp.Time("y", func() {}) // must not panic
-	if StartSpan(nil, "z") != nil {
-		t.Error("StartSpan(nil) should return nil")
+	if _, z := StartSpan(context.Background(), nil, "z"); z != nil {
+		t.Error("StartSpan with nil registry should return nil span")
 	}
 }

@@ -321,20 +321,20 @@ func TestMetricsEndpointReflectsSearchRoundTrip(t *testing.T) {
 	body := string(raw)
 
 	for _, name := range []string{
-		"server_requests_total{kind=search}",
-		"server_requests_total{kind=update}",
-		"server_requests_total{kind=train}",
-		"server_request_seconds_count{kind=search}",
-		"server_rx_bytes_total",
-		"server_tx_bytes_total",
-		"phase_seconds_count{phase=rpc/search/decode}",
-		"phase_seconds_count{phase=rpc/search/engine}",
-		"phase_seconds_count{phase=repo/train}",
-		"phase_seconds_count{phase=repo/train/build_indexes}",
-		"phase_seconds_count{phase=repo/search}",
-		"phase_seconds_count{phase=repo/search/fusion}",
-		"phase_seconds_count{phase=repo/update}",
-		"repo_objects{repo=metrics-e2e}",
+		`server_requests_total{kind="search"}`,
+		`server_requests_total{kind="update"}`,
+		`server_requests_total{kind="train"}`,
+		`server_request_seconds_count{kind="search"}`,
+		`server_rx_bytes_total`,
+		`server_tx_bytes_total`,
+		`phase_seconds_count{phase="rpc/search/decode"}`,
+		`phase_seconds_count{phase="rpc/search/engine"}`,
+		`phase_seconds_count{phase="repo/train"}`,
+		`phase_seconds_count{phase="repo/train/build_indexes"}`,
+		`phase_seconds_count{phase="repo/search"}`,
+		`phase_seconds_count{phase="repo/search/fusion"}`,
+		`phase_seconds_count{phase="repo/update"}`,
+		`repo_objects{repo="metrics-e2e"}`,
 	} {
 		if v := metricValue(body, name); v <= 0 {
 			t.Errorf("metric %s = %v, want > 0", name, v)

@@ -56,6 +56,13 @@ func WithObservability(reg *obs.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
 
+// WithTracer installs the distributed tracer requests join (propagated
+// TraceID/SpanID from v2 envelopes) and completed traces land in. Defaults
+// to obs.DefaultTracer().
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
 // Accept-retry backoff bounds: transient Accept errors (e.g. EMFILE when the
 // process runs out of file descriptors under load) must not kill the accept
 // loop; they are retried with capped exponential backoff.
@@ -86,6 +93,7 @@ type Server struct {
 	logger    *obs.Logger
 	authorize Authorizer
 	reg       *obs.Registry
+	tracer    *obs.Tracer
 	met       serverMetrics
 
 	mu     sync.Mutex
@@ -115,6 +123,9 @@ func New(addr string, svc *core.Service, logger *obs.Logger, opts ...Option) (*S
 	}
 	if s.reg == nil {
 		s.reg = obs.Default()
+	}
+	if s.tracer == nil {
+		s.tracer = obs.DefaultTracer()
 	}
 	s.initMetrics()
 	ln, err := net.Listen("tcp", addr)
@@ -283,6 +294,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		inflight: make(map[uint64]context.CancelFunc),
 	}
 	cs.ctx, cs.cancel = context.WithCancel(context.Background())
+	// Connection-scoped logger: every line of this connection carries the
+	// remote address and negotiated protocol version, so malformed-frame and
+	// cancel events are attributable to a peer. The version starts at 1 and
+	// is re-derived when the peer reveals itself as v2 (Hello frame or a
+	// multiplexed request id); only this read loop mutates clog, and handler
+	// goroutines capture it by value at spawn time.
+	proto := wire.ProtocolV1
+	clog := s.logger.With("remote", cs.remote, "proto", proto)
+	clog.Debug("connection accepted")
 	defer func() {
 		// Unblock handlers first (TrainWait etc.), then wait for them so no
 		// goroutine writes to a map or conn we are tearing down.
@@ -302,19 +322,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			// is a transport failure. Each gets its own counter and level.
 			switch {
 			case errors.Is(err, io.EOF):
-				s.logger.Debug("client disconnected", "remote", cs.remote)
+				clog.Debug("client disconnected")
 			case wire.IsMalformed(err):
 				s.met.malformed.Inc()
-				s.logger.Warn("malformed frame; dropping connection", "remote", cs.remote, "err", err)
+				clog.Warn("malformed frame; dropping connection", "err", err)
 			case s.isClosed() || errors.Is(err, net.ErrClosed):
-				s.logger.Debug("connection closed during shutdown", "remote", cs.remote)
+				clog.Debug("connection closed during shutdown")
 			default:
 				s.met.readErrors.Inc()
-				s.logger.Info("read failed", "remote", cs.remote, "err", err)
+				clog.Info("read failed", "err", err)
 			}
 			return
 		}
 		s.met.rxBytes.Add(int64(n))
+		if proto == wire.ProtocolV1 && (env.Kind == wire.KindHello || env.ID != 0) {
+			proto = wire.ProtocolV2
+			clog = s.logger.With("remote", cs.remote, "proto", proto)
+		}
 		switch {
 		case env.Kind == wire.KindHello:
 			// Version negotiation: always answer v2 (a v1 server would have
@@ -323,7 +347,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			wn, werr := cs.write(env.ID, wire.KindHelloResp, wire.HelloResp{Version: wire.ProtocolV2})
 			s.met.txBytes.Add(int64(wn))
 			if werr != nil {
-				s.logger.Info("hello reply failed", "remote", cs.remote, "err", werr)
+				clog.Info("hello reply failed", "err", werr)
 				return
 			}
 		case env.Kind == wire.KindCancel:
@@ -331,31 +355,31 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.met.cancelFrames.Inc()
 			var req wire.CancelReq
 			if err := env.Decode(&req); err != nil {
-				s.logger.Debug("bad cancel frame", "remote", cs.remote, "err", err)
+				clog.Debug("bad cancel frame", "err", err)
 				continue
 			}
 			if cs.cancelRequest(req.ID) {
 				s.met.cancelHits.Inc()
-				s.logger.Debug("request canceled", "remote", cs.remote, "id", req.ID)
+				clog.Debug("request canceled", "id", req.ID)
 			}
 		case env.ID == 0:
 			// v1 lockstep framing: handle inline so the response is written
 			// before the next request is read, exactly as protocol v1
 			// promises its peers.
-			if err := s.handle(cs, env); err != nil {
-				s.logger.Info("reply failed", "remote", cs.remote, "err", err)
+			if err := s.handle(cs, clog, env); err != nil {
+				clog.Info("reply failed", "err", err)
 				return
 			}
 		default:
 			// v2 multiplexed framing: each request runs on its own goroutine;
 			// the write lock inside connState serializes response frames.
 			cs.handlers.Add(1)
-			go func(env *wire.Envelope) {
+			go func(env *wire.Envelope, lg *obs.Logger) {
 				defer cs.handlers.Done()
-				if err := s.handle(cs, env); err != nil {
-					s.logger.Info("reply failed", "remote", cs.remote, "id", env.ID, "err", err)
+				if err := s.handle(cs, lg, env); err != nil {
+					lg.Info("reply failed", "id", env.ID, "err", err)
 				}
-			}(env)
+			}(env, clog)
 		}
 	}
 }
@@ -365,7 +389,10 @@ func (s *Server) serveConn(conn net.Conn) {
 // decode -> authorize -> engine -> reply phase spans. The request context is
 // derived from the connection (canceled at teardown), bounded by the wire
 // deadline, and registered under the request id so Cancel frames reach it.
-func (s *Server) handle(cs *connState, env *wire.Envelope) error {
+// When the envelope carries trace context (or this side's sampler fires),
+// the request's spans are collected into one trace finished — and possibly
+// kept — when the reply is written.
+func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error {
 	kind := env.Kind
 	s.reg.Counter(obs.L("server_requests_total", "kind", kind)).Inc()
 	s.met.inflight.Add(1)
@@ -387,12 +414,19 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 	cs.register(env.ID, cancel)
 	defer cs.unregister(env.ID)
 
-	sp := obs.StartSpan(s.reg, "rpc/"+kind)
+	// Join the caller's trace (or start a server-local one if the head
+	// sampler or slow-capture is armed). Finish runs after the rpc span has
+	// ended — defers run LIFO — so the root span is complete when the keep
+	// decision is made.
+	ctx, at := s.tracer.Join(ctx, env.TraceID, env.SpanID, env.TraceSampled)
+	defer at.Finish()
+
+	ctx, sp := obs.StartSpan(ctx, s.reg, "rpc/"+kind)
 	defer func() {
 		s.reg.Histogram(obs.L("server_request_seconds", "kind", kind)).Observe(sp.End().Seconds())
 	}()
-	if s.logger.Enabled(obs.LevelDebug) {
-		s.logger.Debug("request", "remote", cs.remote, "id", env.ID, "kind", kind)
+	if lg.Enabled(obs.LevelDebug) {
+		lg.Debug("request", "id", env.ID, "kind", kind)
 	}
 
 	switch kind {
@@ -421,15 +455,15 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 			err = s.authorized(sp, req.RepoID, env.Auth)
 		}
 		if err == nil {
-			sp.Time("engine", func() {
-				var repo *core.Repository
-				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					var st core.TrainJobStatus
-					if st, err = repo.TrainWait(ctx, repo.TrainStart()); err == nil && st.State == core.TrainFailed {
-						err = errors.New(st.Err)
-					}
+			ectx, esp := sp.ChildContext(ctx, "engine")
+			var repo *core.Repository
+			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+				var st core.TrainJobStatus
+				if st, err = repo.TrainWait(ectx, repo.TrainStart()); err == nil && st.State == core.TrainFailed {
+					err = errors.New(st.Err)
 				}
-			})
+			}
+			esp.End()
 		}
 		return s.writeAck(sp, kind, cs, env.ID, err)
 
@@ -458,22 +492,22 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 		}
 		var st core.TrainJobStatus
 		if err == nil {
-			sp.Time("engine", func() {
-				var repo *core.Repository
-				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					if kind == wire.KindTrainStatus {
-						st, err = repo.TrainJob(req.JobID)
-					} else {
-						st, err = repo.TrainWait(ctx, req.JobID)
-						if err != nil && !errors.Is(err, core.ErrUnknownJob) && st.JobID != 0 {
-							// Deadline expired while the job still runs: not a
-							// request failure — report the running status and
-							// let the client decide whether to keep waiting.
-							err = nil
-						}
+			ectx, esp := sp.ChildContext(ctx, "engine")
+			var repo *core.Repository
+			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+				if kind == wire.KindTrainStatus {
+					st, err = repo.TrainJob(req.JobID)
+				} else {
+					st, err = repo.TrainWait(ectx, req.JobID)
+					if err != nil && !errors.Is(err, core.ErrUnknownJob) && st.JobID != 0 {
+						// Deadline expired while the job still runs: not a
+						// request failure — report the running status and
+						// let the client decide whether to keep waiting.
+						err = nil
 					}
 				}
-			})
+			}
+			esp.End()
 		}
 		return s.writeTrainJobResp(sp, kind, cs, env.ID, st, err)
 
@@ -487,12 +521,12 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 			err = ctx.Err()
 		}
 		if err == nil {
-			sp.Time("engine", func() {
-				var repo *core.Repository
-				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					err = repo.Update(&req.Update)
-				}
-			})
+			ectx, esp := sp.ChildContext(ctx, "engine")
+			var repo *core.Repository
+			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+				err = repo.UpdateContext(ectx, &req.Update)
+			}
+			esp.End()
 		}
 		return s.writeAck(sp, kind, cs, env.ID, err)
 
@@ -506,12 +540,12 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 			err = ctx.Err()
 		}
 		if err == nil {
-			sp.Time("engine", func() {
-				var repo *core.Repository
-				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					err = repo.Remove(req.ObjectID)
-				}
-			})
+			ectx, esp := sp.ChildContext(ctx, "engine")
+			var repo *core.Repository
+			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+				err = repo.RemoveContext(ectx, req.ObjectID)
+			}
+			esp.End()
 		}
 		return s.writeAck(sp, kind, cs, env.ID, err)
 
@@ -529,12 +563,12 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 			err = ctx.Err()
 		}
 		if err == nil {
-			sp.Time("engine", func() {
-				var repo *core.Repository
-				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					hits, err = repo.Search(&req.Query)
-				}
-			})
+			ectx, esp := sp.ChildContext(ctx, "engine")
+			var repo *core.Repository
+			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+				hits, err = repo.SearchContext(ectx, &req.Query)
+			}
+			esp.End()
 			if err == nil && ctx.Err() != nil {
 				// Canceled while the engine ran: the caller is gone; suppress
 				// the result so the (dropped) reply carries no hits.
@@ -555,14 +589,51 @@ func (s *Server) handle(cs *connState, env *wire.Envelope) error {
 			err = ctx.Err()
 		}
 		if err == nil {
-			sp.Time("engine", func() {
-				var repo *core.Repository
-				if repo, err = s.svc.Repository(req.RepoID); err == nil {
-					ct, owner, err = repo.Get(req.ObjectID)
-				}
-			})
+			ectx, esp := sp.ChildContext(ctx, "engine")
+			var repo *core.Repository
+			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+				ct, owner, err = repo.GetContext(ectx, req.ObjectID)
+			}
+			esp.End()
 		}
 		return s.writeGetResp(sp, kind, cs, env.ID, ct, owner, err)
+
+	case wire.KindTraceGet:
+		// Hand the client the server-side half of its own trace. Trace ids
+		// are 64-bit capabilities drawn from crypto-seeded randomness; the
+		// ring only holds kept traces, so this reveals nothing a client
+		// could not already observe about its own requests.
+		var req wire.TraceGetReq
+		err := s.decode(sp, env, &req)
+		resp := wire.TraceResp{}
+		if err == nil {
+			if tr, ok := s.tracer.Get(req.TraceID); ok {
+				resp.TraceID = tr.TraceID
+				resp.Root = tr.Root
+				resp.StartUnixNano = tr.StartUnixNano
+				resp.DurationNanos = tr.DurationNanos
+				resp.Reason = tr.Reason
+				for _, rec := range tr.Spans {
+					resp.Spans = append(resp.Spans, wire.TraceSpan{
+						SpanID:        rec.SpanID,
+						ParentID:      rec.ParentID,
+						Name:          rec.Name,
+						StartUnixNano: rec.StartUnixNano,
+						DurationNanos: rec.DurationNanos,
+						Err:           rec.Err,
+					})
+				}
+			} else {
+				resp.Err = "trace not found (not kept or evicted)"
+			}
+		} else {
+			resp.Err = err.Error()
+		}
+		rsp := sp.Child("reply")
+		n, werr := cs.write(env.ID, wire.KindTraceResp, resp)
+		s.met.txBytes.Add(int64(n))
+		rsp.End()
+		return werr
 
 	default:
 		s.countOpError(kind, errors.New("unknown kind"))
@@ -609,6 +680,7 @@ func (s *Server) countOpError(kind string, err error) {
 
 func (s *Server) writeAck(sp *obs.Span, kind string, cs *connState, id uint64, err error) error {
 	s.countOpError(kind, err)
+	sp.SetError(err)
 	rsp := sp.Child("reply")
 	defer rsp.End()
 	ack := wire.Ack{}
@@ -622,6 +694,7 @@ func (s *Server) writeAck(sp *obs.Span, kind string, cs *connState, id uint64, e
 
 func (s *Server) writeSearchResp(sp *obs.Span, kind string, cs *connState, id uint64, hits []core.SearchHit, err error) error {
 	s.countOpError(kind, err)
+	sp.SetError(err)
 	rsp := sp.Child("reply")
 	defer rsp.End()
 	resp := wire.SearchResp{Hits: hits}
@@ -635,6 +708,7 @@ func (s *Server) writeSearchResp(sp *obs.Span, kind string, cs *connState, id ui
 
 func (s *Server) writeGetResp(sp *obs.Span, kind string, cs *connState, id uint64, ct []byte, owner string, err error) error {
 	s.countOpError(kind, err)
+	sp.SetError(err)
 	rsp := sp.Child("reply")
 	defer rsp.End()
 	resp := wire.GetResp{Ciphertext: ct, Owner: owner}
@@ -648,6 +722,7 @@ func (s *Server) writeGetResp(sp *obs.Span, kind string, cs *connState, id uint6
 
 func (s *Server) writeTrainJobResp(sp *obs.Span, kind string, cs *connState, id uint64, st core.TrainJobStatus, err error) error {
 	s.countOpError(kind, err)
+	sp.SetError(err)
 	rsp := sp.Child("reply")
 	defer rsp.End()
 	resp := wire.TrainJobResp{Job: wire.TrainJobStatus{

@@ -17,6 +17,7 @@ import (
 	"mie/internal/device"
 	"mie/internal/dpe"
 	"mie/internal/imaging"
+	"mie/internal/leakcheck"
 	"mie/internal/wire"
 )
 
@@ -99,6 +100,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestEndToEndFlow(t *testing.T) {
+	leakcheck.Check(t)
 	srv := startServer(t)
 	conn := dial(t, srv, nil)
 	cc := newCoreClient(t, nil)
@@ -198,6 +200,7 @@ func TestServerErrorsPropagate(t *testing.T) {
 }
 
 func TestConcurrentClientsSharedRepository(t *testing.T) {
+	leakcheck.Check(t)
 	// The Figure 4 scenario over real sockets: two independent connections
 	// (a "mobile" and a "desktop" user) write to the same repository
 	// concurrently and both make progress.
@@ -319,6 +322,7 @@ func TestUnknownKindGetsErrorResponse(t *testing.T) {
 }
 
 func TestCloseIdempotent(t *testing.T) {
+	leakcheck.Check(t)
 	srv, err := New("127.0.0.1:0", core.NewService(), nil)
 	if err != nil {
 		t.Fatal(err)

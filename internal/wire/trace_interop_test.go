@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"testing"
+
+	"mie/internal/core"
+)
+
+// legacyEnvelope is the pre-tracing Envelope layout, as an old peer would
+// gob-encode it: no TraceID/SpanID/TraceSampled fields. Gob matches struct
+// fields by name and silently skips both missing and unknown ones, which is
+// the property the trace fields' interop story rests on — this test pins it.
+type legacyEnvelope struct {
+	Kind         string
+	Auth         string
+	ID           uint64
+	TimeoutNanos int64
+	Data         []byte
+}
+
+// writeLegacyFrame frames a legacyEnvelope exactly as WriteEnvelope does:
+// 4-byte big-endian length, then the gob-encoded envelope.
+func writeLegacyFrame(t *testing.T, w *bytes.Buffer, env legacyEnvelope) {
+	t.Helper()
+	var frame bytes.Buffer
+	if err := gob.NewEncoder(&frame).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(frame.Len()))
+	w.Write(hdr[:])
+	w.Write(frame.Bytes())
+}
+
+func TestV1PeerEnvelopeWithoutTraceFields(t *testing.T) {
+	// Old peer -> new reader: a frame encoded without trace fields decodes
+	// cleanly and reads as untraced (all trace fields zero).
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(SearchReq{RepoID: "r1", Query: core.Query{K: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	writeLegacyFrame(t, &buf, legacyEnvelope{Kind: KindSearch, ID: 7, Data: body.Bytes()})
+
+	env, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("new reader rejected v1-peer frame: %v", err)
+	}
+	if env.Kind != KindSearch || env.ID != 7 {
+		t.Errorf("envelope = kind %q id %d", env.Kind, env.ID)
+	}
+	if env.TraceID != 0 || env.SpanID != 0 || env.TraceSampled {
+		t.Errorf("trace fields not zero: %+v", env)
+	}
+	var req SearchReq
+	if err := env.Decode(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.RepoID != "r1" || req.Query.K != 3 {
+		t.Errorf("payload = %+v", req)
+	}
+}
+
+func TestV1PeerDecodesTracedEnvelope(t *testing.T) {
+	// New writer -> old reader: a frame carrying trace fields still decodes
+	// into the legacy layout; gob drops the fields the old struct lacks.
+	env, err := NewEnvelope(KindSearch, "tok", 9, 0, SearchReq{RepoID: "r2", Query: core.Query{K: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.TraceID = 0xdead
+	env.SpanID = 0xbeef
+	env.TraceSampled = true
+	var buf bytes.Buffer
+	if _, err := WriteEnvelope(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+
+	var hdr [4]byte
+	copy(hdr[:], buf.Next(4))
+	size := binary.BigEndian.Uint32(hdr[:])
+	var legacy legacyEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(buf.Next(int(size)))).Decode(&legacy); err != nil {
+		t.Fatalf("v1 peer rejected traced envelope: %v", err)
+	}
+	if legacy.Kind != KindSearch || legacy.Auth != "tok" || legacy.ID != 9 {
+		t.Errorf("legacy envelope = %+v", legacy)
+	}
+	var req SearchReq
+	if err := gob.NewDecoder(bytes.NewReader(legacy.Data)).Decode(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.RepoID != "r2" || req.Query.K != 4 {
+		t.Errorf("payload = %+v", req)
+	}
+}

@@ -97,6 +97,10 @@ const (
 	KindTrainStatus  = "train-status"
 	KindTrainWait    = "train-wait"
 	KindTrainJobResp = "train-job-resp"
+	// KindTraceGet fetches the server-side span tree of a completed traced
+	// request by TraceID (mie-client -trace); answered with KindTraceResp.
+	KindTraceGet  = "trace-get"
+	KindTraceResp = "trace-resp"
 )
 
 // Envelope is one protocol message: a kind tag, an optional bearer
@@ -112,6 +116,15 @@ type Envelope struct {
 	// (relative, so peers need not share a clock); 0 means no deadline.
 	// The server derives the request's context.Context deadline from it.
 	TimeoutNanos int64
+	// TraceID and SpanID propagate the caller's distributed-tracing context:
+	// the trace this request belongs to and the client span the server-side
+	// spans should parent under. Zero means untraced. TraceSampled carries
+	// the client's head-sampling decision so both sides keep the same
+	// traces. Gob tolerates missing fields, so v1 peers (which never set
+	// these) interoperate unchanged.
+	TraceID      uint64
+	SpanID       uint64
+	TraceSampled bool
 	Data         []byte
 }
 
@@ -179,6 +192,10 @@ type (
 		RepoID   string
 		ObjectID string
 	}
+	// TraceGetReq fetches the server-side trace of a completed request.
+	TraceGetReq struct {
+		TraceID uint64
+	}
 )
 
 // Response payloads.
@@ -214,6 +231,26 @@ type (
 	TrainJobResp struct {
 		Err string
 		Job TrainJobStatus
+	}
+	// TraceSpan is one span of a server-side trace on the wire.
+	TraceSpan struct {
+		SpanID        uint64
+		ParentID      uint64
+		Name          string
+		StartUnixNano int64
+		DurationNanos int64
+		Err           string
+	}
+	// TraceResp answers KindTraceGet. Err is set when the trace is unknown
+	// (never kept, or already evicted from the server's ring).
+	TraceResp struct {
+		Err           string
+		TraceID       uint64
+		Root          string
+		StartUnixNano int64
+		DurationNanos int64
+		Reason        string
+		Spans         []TraceSpan
 	}
 )
 

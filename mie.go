@@ -46,6 +46,7 @@ import (
 	"mie/internal/crypto"
 	"mie/internal/device"
 	"mie/internal/imaging"
+	"mie/internal/obs"
 	"mie/internal/server"
 	"mie/internal/wire"
 )
@@ -79,7 +80,18 @@ type (
 	TrainState = core.TrainJobState
 	// TrainStatus is a point-in-time view of one training job.
 	TrainStatus = core.TrainJobStatus
+	// Trace is a completed request trace: a span tree recorded on one side
+	// (client or server) of an operation. See TraceFetcher.
+	Trace = obs.Trace
 )
+
+// TraceFetcher is implemented by remote Repository handles. It retrieves the
+// server-side half of a distributed trace by id — the span tree the server
+// kept for a sampled (or slow/errored) request this handle made. Render it,
+// together with any client-side fragment, via obs.RenderTraceTree.
+type TraceFetcher interface {
+	FetchTrace(ctx context.Context, traceID uint64) (*Trace, error)
+}
 
 // Training job states.
 const (
@@ -292,18 +304,18 @@ func (l *localRepo) Add(ctx context.Context, obj *Object, dataKey DataKey) error
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	up, err := l.client.PrepareUpdate(obj, dataKey)
+	up, err := l.client.PrepareUpdateContext(ctx, obj, dataKey)
 	if err != nil {
 		return err
 	}
-	return l.repo.Update(up)
+	return l.repo.UpdateContext(ctx, up)
 }
 
 func (l *localRepo) Remove(ctx context.Context, objectID string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return l.repo.Remove(objectID)
+	return l.repo.RemoveContext(ctx, objectID)
 }
 
 func (l *localRepo) Train(ctx context.Context) error {
@@ -331,18 +343,18 @@ func (l *localRepo) Search(ctx context.Context, query *Object, k int) ([]SearchH
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	q, err := l.client.PrepareQuery(query, k)
+	q, err := l.client.PrepareQueryContext(ctx, query, k)
 	if err != nil {
 		return nil, err
 	}
-	return l.repo.Search(q)
+	return l.repo.SearchContext(ctx, q)
 }
 
 func (l *localRepo) Get(ctx context.Context, objectID string) ([]byte, string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
 	}
-	return l.repo.Get(objectID)
+	return l.repo.GetContext(ctx, objectID)
 }
 
 func (l *localRepo) Close() error { return nil }
@@ -357,7 +369,7 @@ type remoteRepo struct {
 var _ Repository = (*remoteRepo)(nil)
 
 func (r *remoteRepo) Add(ctx context.Context, obj *Object, dataKey DataKey) error {
-	up, err := r.client.PrepareUpdate(obj, dataKey)
+	up, err := r.client.PrepareUpdateContext(ctx, obj, dataKey)
 	if err != nil {
 		return err
 	}
@@ -413,7 +425,7 @@ func (r *remoteRepo) TrainAsync(ctx context.Context) (*TrainJob, error) {
 }
 
 func (r *remoteRepo) Search(ctx context.Context, query *Object, k int) ([]SearchHit, error) {
-	q, err := r.client.PrepareQuery(query, k)
+	q, err := r.client.PrepareQueryContext(ctx, query, k)
 	if err != nil {
 		return nil, err
 	}
@@ -425,6 +437,15 @@ func (r *remoteRepo) Get(ctx context.Context, objectID string) ([]byte, string, 
 }
 
 func (r *remoteRepo) Close() error { return r.conn.Close() }
+
+// FetchTrace implements TraceFetcher: it asks the server for the span tree it
+// kept under traceID. Use a fresh context so the fetch does not extend the
+// trace being fetched.
+func (r *remoteRepo) FetchTrace(ctx context.Context, traceID uint64) (*Trace, error) {
+	return r.conn.FetchTrace(ctx, traceID)
+}
+
+var _ TraceFetcher = (*remoteRepo)(nil)
 
 // waitTrained blocks on a train job and folds its outcome into an error.
 func waitTrained(ctx context.Context, job *TrainJob) error {

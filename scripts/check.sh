@@ -20,6 +20,15 @@ go build ./...
 # -shuffle surfaces inter-test ordering dependencies; -cover prints a
 # per-package coverage summary so coverage regressions are visible in CI
 # logs.
+# The goroutine-leak sentinel (internal/leakcheck) must stay wired into the
+# connection-lifecycle tests; a silent drop would let Close-path leaks pass.
+for pkg in internal/server internal/client; do
+    if ! grep -q "leakcheck.Check" "$pkg"/*_test.go; then
+        echo "check.sh: $pkg tests no longer use the leakcheck sentinel" >&2
+        exit 1
+    fi
+done
+
 go test -race -shuffle=on -cover ./...
 
 # Fuzz smoke over the decoders that face untrusted or crash-damaged input:
