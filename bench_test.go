@@ -7,6 +7,7 @@ package mie
 // in minutes; key shape numbers are attached via b.ReportMetric.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -373,8 +374,9 @@ func BenchmarkAESCTREncrypt4KiB(b *testing.B) {
 
 // --- End-to-end per-operation benches ---------------------------------------
 
-func benchMIEStack(b *testing.B, n int) (*Client, LegacyRepository) {
+func benchMIEStack(b *testing.B, n int) (*Client, Repository) {
 	b.Helper()
+	ctx := context.Background()
 	key := RepositoryKey{Master: benchKey()}
 	client, err := NewClient(ClientConfig{
 		Key:     key,
@@ -384,13 +386,17 @@ func benchMIEStack(b *testing.B, n int) (*Client, LegacyRepository) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	svc := NewService()
-	repo, err := OpenLocal(svc, client, "bench", RepositoryOptions{
-		Vocab: cluster.VocabParams{
-			Words:   50,
-			Tree:    cluster.TreeParams{Branch: 4, Height: 2, Seed: 1},
-			Seed:    1,
-			MaxIter: 10,
+	repo, err := Open(ctx, Options{
+		Client: client,
+		RepoID: "bench",
+		Create: true,
+		Repo: RepositoryOptions{
+			Vocab: cluster.VocabParams{
+				Words:   50,
+				Tree:    cluster.TreeParams{Branch: 4, Height: 2, Seed: 1},
+				Seed:    1,
+				MaxIter: 10,
+			},
 		},
 	})
 	if err != nil {
@@ -398,11 +404,11 @@ func benchMIEStack(b *testing.B, n int) (*Client, LegacyRepository) {
 	}
 	dk := DataKey(benchKey())
 	for _, obj := range dataset.Flickr(dataset.FlickrParams{N: n, ImageSize: 48, Seed: 1}) {
-		if err := repo.Add(obj, dk); err != nil {
+		if err := repo.Add(ctx, obj, dk); err != nil {
 			b.Fatal(err)
 		}
 	}
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		b.Fatal(err)
 	}
 	return client, repo
@@ -415,7 +421,7 @@ func BenchmarkMIEUpdateEndToEnd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		objs[0].ID = fmt.Sprintf("new-%d", i)
-		if err := repo.Add(objs[0], dk); err != nil {
+		if err := repo.Add(context.Background(), objs[0], dk); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -426,7 +432,7 @@ func BenchmarkMIESearchEndToEnd(b *testing.B) {
 	query := dataset.Flickr(dataset.FlickrParams{N: 1, ImageSize: 48, Seed: 10})[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := repo.Search(query, 10); err != nil {
+		if _, err := repo.Search(context.Background(), query, 10); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,7 +5,7 @@
 //
 //	mie-bench [-scale quick|default|paper] [-experiment all|table1|table2|fig2|fig3|fig4|fig5|fig6|table3|attack|ablations]
 //	          [-obs-out BENCH_obs.json] [-persistence [-persistence-out BENCH_persistence.json]]
-//	          [-trace-overhead]
+//	          [-incremental [-incremental-out BENCH_incremental.json]] [-trace-overhead]
 //
 // The default scale runs the whole suite in minutes on a laptop by shrinking
 // workloads ~10x; -scale paper restores the published sizes (expect the
@@ -45,6 +45,8 @@ func main() {
 	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "write the concurrent-search report as JSON to this file")
 	persistence := flag.Bool("persistence", false, "run the durability benchmark: WAL append/fsync throughput per sync policy, snapshot and recovery cost")
 	persistOut := flag.String("persistence-out", "BENCH_persistence.json", "write the durability report as JSON to this file")
+	incremental := flag.Bool("incremental", false, "run the incremental-training benchmark: retrain cost after churn vs a full rebuild, with mAP parity")
+	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "write the incremental-training report as JSON to this file")
 	traceOverhead := flag.Bool("trace-overhead", false, "measure request-tracing overhead at 0%, 1% and 100% sampling vs an untraced baseline")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
@@ -59,6 +61,12 @@ func main() {
 	}
 	if *persistence {
 		if err := runPersistence(*scale, *persistOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *incremental {
+		if err := runIncremental(*scale, *incrementalOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mie-bench:", err)
 			os.Exit(1)
 		}
@@ -151,6 +159,33 @@ func runPersistence(scale, outPath string) error {
 		return fmt.Errorf("write persistence report: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "persistence report written to %s\n", outPath)
+	return nil
+}
+
+// runIncremental measures retrain cost after a ~10% churn — incremental
+// train over the segmented index vs the legacy full rebuild — prints the
+// report and writes it as JSON.
+func runIncremental(scale, outPath string) error {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return err
+	}
+	report, err := experiments.IncrementalExperiment(cfg)
+	if err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	experiments.WriteIncrementalReport(os.Stdout, report)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal incremental report: %w", err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write incremental report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "incremental report written to %s\n", outPath)
 	return nil
 }
 

@@ -1,15 +1,17 @@
 package mie_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"mie"
 )
 
-// ExampleOpenLocal shows the embedded (in-process) end-to-end flow: create a
+// ExampleOpen shows the embedded (in-process) end-to-end flow: create a
 // repository, add encrypted objects, outsource training, search, decrypt.
-func ExampleOpenLocal() {
+func ExampleOpen() {
+	ctx := context.Background()
 	key, err := mie.NewRepositoryKey()
 	if err != nil {
 		log.Fatal(err)
@@ -18,10 +20,11 @@ func ExampleOpenLocal() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repo, err := mie.OpenLocal(mie.NewService(), client, "notes", mie.RepositoryOptions{})
+	repo, err := mie.Open(ctx, mie.Options{Client: client, RepoID: "notes", Create: true})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer repo.Close()
 	dataKey, err := mie.NewDataKey()
 	if err != nil {
 		log.Fatal(err)
@@ -32,14 +35,14 @@ func ExampleOpenLocal() {
 		{"trip-plan", "lisbon porto train schedule tickets"},
 	}
 	for _, d := range docs {
-		if err := repo.Add(&mie.Object{ID: d.id, Owner: "me", Text: d.text}, dataKey); err != nil {
+		if err := repo.Add(ctx, &mie.Object{ID: d.id, Owner: "me", Text: d.text}, dataKey); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		log.Fatal(err)
 	}
-	hits, err := repo.Search(&mie.Object{ID: "q", Text: "homomorphic encryption"}, 1)
+	hits, err := repo.Search(ctx, &mie.Object{ID: "q", Text: "homomorphic encryption"}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,6 +60,7 @@ func ExampleOpenLocal() {
 // ExampleRepository_Remove shows dynamic deletion: removed objects leave the
 // index immediately, with no client-side bookkeeping.
 func ExampleRepository_Remove() {
+	ctx := context.Background()
 	key, err := mie.NewRepositoryKey()
 	if err != nil {
 		log.Fatal(err)
@@ -65,10 +69,11 @@ func ExampleRepository_Remove() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repo, err := mie.OpenLocal(mie.NewService(), client, "r", mie.RepositoryOptions{})
+	repo, err := mie.Open(ctx, mie.Options{Client: client, RepoID: "r", Create: true})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer repo.Close()
 	dataKey, err := mie.NewDataKey()
 	if err != nil {
 		log.Fatal(err)
@@ -78,17 +83,17 @@ func ExampleRepository_Remove() {
 		{"drop", "quarterly report drafts obsolete"},
 		{"other", "unrelated meeting minutes"},
 	} {
-		if err := repo.Add(&mie.Object{ID: d.id, Owner: "me", Text: d.text}, dataKey); err != nil {
+		if err := repo.Add(ctx, &mie.Object{ID: d.id, Owner: "me", Text: d.text}, dataKey); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if err := repo.Remove("drop"); err != nil {
+	if err := repo.Remove(ctx, "drop"); err != nil {
 		log.Fatal(err)
 	}
-	hits, err := repo.Search(&mie.Object{ID: "q", Text: "quarterly report"}, 5)
+	hits, err := repo.Search(ctx, &mie.Object{ID: "q", Text: "quarterly report"}, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

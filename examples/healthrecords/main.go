@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,11 +40,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	svc := mie.NewService()
-	repo, err := mie.OpenLocal(svc, doctor, "cardiology-phr", mie.RepositoryOptions{})
+	ctx := context.Background()
+	repo, err := mie.Open(ctx, mie.Options{Client: doctor, RepoID: "cardiology-phr", Create: true})
 	if err != nil {
 		return err
 	}
+	defer repo.Close()
 
 	// Each patient holds their own data key.
 	patients := map[string]*patient{}
@@ -82,19 +84,19 @@ func run() error {
 			Text:  r.notes,
 			Image: medicalScan(r.scan, r.id),
 		}
-		if err := repo.Add(obj, p.dataKey); err != nil {
+		if err := repo.Add(ctx, obj, p.dataKey); err != nil {
 			return fmt.Errorf("upload %s: %w", r.id, err)
 		}
 		fmt.Printf("uploaded %-20s (owner %s; encrypted under the patient's key)\n", r.id, r.patient)
 	}
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		return err
 	}
 	fmt.Println("cloud indexed the records (training over encodings only)")
 
 	// A doctor researching arrhythmia treatments searches the shared
 	// repository: the query reveals only deterministic tokens.
-	hits, err := repo.Search(&mie.Object{ID: "q", Text: "arrhythmia palpitations medication"}, 3)
+	hits, err := repo.Search(ctx, &mie.Object{ID: "q", Text: "arrhythmia palpitations medication"}, 3)
 	if err != nil {
 		return err
 	}

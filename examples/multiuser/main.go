@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,6 +29,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	svc := mie.NewService()
 	srv, err := mie.Serve("127.0.0.1:0", svc)
 	if err != nil {
@@ -53,11 +55,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	bootRepo, err := mie.OpenRemote(srv.Addr(), boot, "team-docs", mie.RemoteOptions{Create: true})
+	bootRepo, err := mie.Open(ctx, mie.Options{Addr: srv.Addr(), Client: boot, RepoID: "team-docs", Create: true})
 	if err != nil {
 		return err
 	}
-	defer func() { _ = mie.Close(bootRepo) }()
+	defer func() { _ = bootRepo.Close() }()
 
 	topics := []string{
 		"quarterly budget finance report numbers",
@@ -86,7 +88,7 @@ func run() error {
 		writers, writers*docsPerWriter, time.Since(start).Round(time.Millisecond))
 
 	// Any user can search everything, immediately.
-	hits, err := bootRepo.Search(&mie.Object{ID: "q", Text: "incident outage recovery"}, 5)
+	hits, err := bootRepo.Search(ctx, &mie.Object{ID: "q", Text: "incident outage recovery"}, 5)
 	if err != nil {
 		return err
 	}
@@ -96,7 +98,7 @@ func run() error {
 	}
 	total := 0
 	for _, t := range topics {
-		hs, err := bootRepo.Search(&mie.Object{ID: "q", Text: t}, writers*docsPerWriter)
+		hs, err := bootRepo.Search(ctx, &mie.Object{ID: "q", Text: t}, writers*docsPerWriter)
 		if err != nil {
 			return err
 		}
@@ -107,16 +109,17 @@ func run() error {
 }
 
 func runWriter(addr string, repoKey mie.RepositoryKey, dataKey mie.DataKey, id int, topic string) error {
+	ctx := context.Background()
 	// Each writer is an independent device: own client, own connection.
 	c, err := mie.NewClient(mie.ClientConfig{Key: repoKey})
 	if err != nil {
 		return err
 	}
-	repo, err := mie.OpenRemote(addr, c, "team-docs", mie.RemoteOptions{})
+	repo, err := mie.Open(ctx, mie.Options{Addr: addr, Client: c, RepoID: "team-docs"})
 	if err != nil {
 		return err
 	}
-	defer func() { _ = mie.Close(repo) }()
+	defer func() { _ = repo.Close() }()
 	rng := rand.New(rand.NewSource(int64(id)))
 	words := []string{"meeting", "draft", "final", "review", "notes", "summary", "action", "plan"}
 	for i := 0; i < docsPerWriter; i++ {
@@ -125,7 +128,7 @@ func runWriter(addr string, repoKey mie.RepositoryKey, dataKey mie.DataKey, id i
 			Owner: fmt.Sprintf("writer%d", id),
 			Text:  fmt.Sprintf("%s %s %s", topic, words[rng.Intn(len(words))], words[rng.Intn(len(words))]),
 		}
-		if err := repo.Add(obj, dataKey); err != nil {
+		if err := repo.Add(ctx, obj, dataKey); err != nil {
 			return err
 		}
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,6 +26,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// The cloud: knows no keys, sees no plaintext.
 	svc := mie.NewService()
 	srv, err := mie.Serve("127.0.0.1:0", svc)
@@ -54,11 +56,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	aliceRepo, err := mie.OpenRemote(srv.Addr(), alice, "family-photos", mie.RemoteOptions{Create: true})
+	aliceRepo, err := mie.Open(ctx, mie.Options{Addr: srv.Addr(), Client: alice, RepoID: "family-photos", Create: true})
 	if err != nil {
 		return err
 	}
-	defer func() { _ = mie.Close(aliceRepo) }()
+	defer func() { _ = aliceRepo.Close() }()
 
 	type photo struct {
 		id, tags string
@@ -79,14 +81,14 @@ func run() error {
 			Text:  p.tags,
 			Image: scenePhoto(p.scene, p.id),
 		}
-		if err := aliceRepo.Add(obj, familyAlbumKey); err != nil {
+		if err := aliceRepo.Add(ctx, obj, familyAlbumKey); err != nil {
 			return fmt.Errorf("alice add %s: %w", p.id, err)
 		}
 	}
 	fmt.Printf("alice uploaded %d encrypted photos\n", len(library))
 
 	// Training runs in the cloud — Alice's phone does nothing.
-	if err := aliceRepo.Train(); err != nil {
+	if err := aliceRepo.Train(ctx); err != nil {
 		return err
 	}
 	fmt.Println("cloud trained + indexed the album")
@@ -96,11 +98,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	bobRepo, err := mie.OpenRemote(srv.Addr(), bob, "family-photos", mie.RemoteOptions{})
+	bobRepo, err := mie.Open(ctx, mie.Options{Addr: srv.Addr(), Client: bob, RepoID: "family-photos"})
 	if err != nil {
 		return err
 	}
-	defer func() { _ = mie.Close(bobRepo) }()
+	defer func() { _ = bobRepo.Close() }()
 
 	// Bob remembers a snowy day and has one photo from the same trip.
 	query := &mie.Object{
@@ -108,7 +110,7 @@ func run() error {
 		Text:  "snow winter",
 		Image: scenePhoto(30, "bobs-own-shot"),
 	}
-	hits, err := bobRepo.Search(query, 3)
+	hits, err := bobRepo.Search(ctx, query, 3)
 	if err != nil {
 		return err
 	}
@@ -135,13 +137,13 @@ func run() error {
 		Text:  "mountain snow snowboard winter",
 		Image: scenePhoto(30, "bob-ski-03"),
 	}
-	if err := bobRepo.Add(add, familyAlbumKey); err != nil {
+	if err := bobRepo.Add(ctx, add, familyAlbumKey); err != nil {
 		return err
 	}
 	fmt.Println("bob added his own photo to the shared album")
 
 	// It is immediately searchable (dynamic index, no retraining needed).
-	hits, err = aliceRepo.Search(&mie.Object{ID: "q2", Text: "snowboard"}, 1)
+	hits, err = aliceRepo.Search(ctx, &mie.Object{ID: "q2", Text: "snowboard"}, 1)
 	if err != nil {
 		return err
 	}

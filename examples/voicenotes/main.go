@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -32,11 +33,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	svc := mie.NewService()
-	repo, err := mie.OpenLocal(svc, client, "voice-memos", mie.RepositoryOptions{})
+	ctx := context.Background()
+	repo, err := mie.Open(ctx, mie.Options{Client: client, RepoID: "voice-memos", Create: true})
 	if err != nil {
 		return err
 	}
+	defer repo.Close()
 	dataKey, err := mie.NewDataKey()
 	if err != nil {
 		return err
@@ -67,19 +69,19 @@ func run() error {
 			Text:  m.tags,
 			Audio: recording(m.speaker, m.take),
 		}
-		if err := repo.Add(obj, dataKey); err != nil {
+		if err := repo.Add(ctx, obj, dataKey); err != nil {
 			return fmt.Errorf("add %s: %w", m.id, err)
 		}
 	}
 	fmt.Printf("uploaded %d encrypted voice memos (server sees only encodings)\n", len(memos))
 
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		return err
 	}
 	fmt.Println("cloud trained the audio codebook from Dense-DPE encodings")
 
 	// Query 1: by audio example — a new take from speaker 1 ("rui").
-	hits, err := repo.Search(&mie.Object{ID: "q1", Audio: recording(1, 99)}, 3)
+	hits, err := repo.Search(ctx, &mie.Object{ID: "q1", Audio: recording(1, 99)}, 3)
 	if err != nil {
 		return err
 	}
@@ -89,7 +91,7 @@ func run() error {
 	}
 
 	// Query 2: multimodal — keyword plus audio example.
-	hits, err = repo.Search(&mie.Object{
+	hits, err = repo.Search(ctx, &mie.Object{
 		ID:    "q2",
 		Text:  "recipe pasta",
 		Audio: recording(1, 123),

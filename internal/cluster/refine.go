@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mie/internal/vec"
+)
+
+// RefineOptions tunes warm-started mini-batch refinement.
+type RefineOptions struct {
+	// MaxIter bounds refinement sweeps over the delta sample; defaults to 4.
+	// Refinement converges much faster than cold k-means because it starts
+	// from the previous epoch's solution.
+	MaxIter int
+	// PriorWeight is the pseudo-count mass each previous centroid carries
+	// into the majority vote, anchoring refined centroids to the previous
+	// epoch so a small delta cannot yank the whole codebook around.
+	// Defaults to 4 (each old centroid counts as four delta samples).
+	PriorWeight int
+}
+
+func (o *RefineOptions) setDefaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 4
+	}
+	if o.PriorWeight <= 0 {
+		o.PriorWeight = 4
+	}
+}
+
+// DriftReport quantifies how far refinement moved the codebook away from the
+// previous epoch. Callers compare it against a threshold to decide whether
+// the warm-started result is trustworthy or a full re-cluster is warranted.
+type DriftReport struct {
+	// MeanShift is the mean Hamming distance between each previous centroid
+	// and its refined version, normalized by the bit width (0 = unchanged,
+	// 1 = every bit of every centroid flipped).
+	MeanShift float64
+	// MaxShift is the largest single-centroid normalized shift.
+	MaxShift float64
+	// ReassignedFraction is the fraction of delta samples whose nearest
+	// centroid index changed between the previous and refined codebooks — a
+	// proxy for how much quantization of existing postings has drifted.
+	ReassignedFraction float64
+}
+
+// Exceeds reports whether the drift crosses either limit. A non-positive
+// limit disables that check.
+func (d DriftReport) Exceeds(meanShift, reassigned float64) bool {
+	if meanShift > 0 && d.MeanShift > meanShift {
+		return true
+	}
+	if reassigned > 0 && d.ReassignedFraction > reassigned {
+		return true
+	}
+	return false
+}
+
+// RefineResult carries the outcome of RefineHammingKMeans.
+type RefineResult struct {
+	Centroids  []vec.BitVec
+	Drift      DriftReport
+	Iterations int
+}
+
+// RefineHammingKMeans warm-starts from the previous epoch's centroids and
+// refines them against only the delta sample (mini-batch k-means in Hamming
+// space). Each previous centroid contributes PriorWeight pseudo-counts to
+// the per-bit majority vote, so centroids drift toward the delta data in
+// proportion to how much of it they attract. Centroids that attract no delta
+// samples are returned unchanged — refinement never re-seeds or drops
+// clusters, that is the full re-cluster's job. The returned DriftReport lets
+// the caller decide when accumulated drift warrants a full HammingKMeans.
+func RefineHammingKMeans(prev []vec.BitVec, delta []vec.BitVec, opts RefineOptions) (*RefineResult, error) {
+	if len(prev) == 0 {
+		return nil, ErrBadK
+	}
+	if len(delta) == 0 {
+		return nil, ErrNoPoints
+	}
+	opts.setDefaults()
+	n := prev[0].Len()
+	for i, c := range prev {
+		if c.Len() != n {
+			return nil, fmt.Errorf("cluster: centroid %d has %d bits, want %d", i, c.Len(), n)
+		}
+	}
+	for i, p := range delta {
+		if p.Len() != n {
+			return nil, fmt.Errorf("cluster: encoding %d has %d bits, want %d", i, p.Len(), n)
+		}
+	}
+	k := len(prev)
+	centroids := make([]vec.BitVec, k)
+	for c := range prev {
+		centroids[c] = prev[c].Clone()
+	}
+	prevAssign := make([]int, len(delta))
+	for i, p := range delta {
+		prevAssign[i], _ = nearestHamming(prev, p)
+	}
+	assign := make([]int, len(delta))
+	res := &RefineResult{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		for i, p := range delta {
+			assign[i], _ = nearestHamming(centroids, p)
+		}
+		ones := make([][]int, k)
+		counts := make([]int, k)
+		for c := range ones {
+			ones[c] = make([]int, n)
+		}
+		for i, p := range delta {
+			c := assign[i]
+			counts[c]++
+			for b := 0; b < n; b++ {
+				if p.Get(b) {
+					ones[c][b]++
+				}
+			}
+		}
+		moved := 0
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // no delta evidence: keep the previous centroid
+			}
+			total := counts[c] + opts.PriorWeight
+			next := vec.NewBitVec(n)
+			for b := 0; b < n; b++ {
+				votes := ones[c][b]
+				if prev[c].Get(b) {
+					votes += opts.PriorWeight
+				}
+				switch {
+				case 2*votes > total:
+					next.Set(b, true)
+				case 2*votes == total:
+					// Tie: keep the current bit so the loop can converge.
+					next.Set(b, centroids[c].Get(b))
+				}
+			}
+			if !next.Equal(centroids[c]) {
+				moved++
+			}
+			centroids[c] = next
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	var shiftSum float64
+	for c := 0; c < k; c++ {
+		shift := float64(vec.Hamming(prev[c], centroids[c])) / float64(n)
+		shiftSum += shift
+		if shift > res.Drift.MaxShift {
+			res.Drift.MaxShift = shift
+		}
+	}
+	res.Drift.MeanShift = shiftSum / float64(k)
+	reassigned := 0
+	for i, p := range delta {
+		now, _ := nearestHamming(centroids, p)
+		assign[i] = now
+		if now != prevAssign[i] {
+			reassigned++
+		}
+	}
+	res.Drift.ReassignedFraction = float64(reassigned) / float64(len(delta))
+	res.Centroids = centroids
+	return res, nil
+}

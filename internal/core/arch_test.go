@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEngineLayersDoNotImportTransport pins the import boundary of the
+// engine: internal/core, internal/index and internal/cluster are the
+// server-side retrieval stack and must stay free of the transport layers
+// (internal/server, internal/client, internal/wire). A violation here means
+// engine code grew a dependency on RPC plumbing — the layering the segmented
+// index refactor relies on (index and cluster are swappable below core)
+// would quietly erode.
+func TestEngineLayersDoNotImportTransport(t *testing.T) {
+	forbidden := map[string]string{
+		"mie/internal/server": "transport (server)",
+		"mie/internal/client": "transport (client)",
+		"mie/internal/wire":   "wire protocol",
+	}
+	// Directories relative to this test file (internal/core).
+	layers := map[string]string{
+		"core":    ".",
+		"index":   filepath.Join("..", "index"),
+		"cluster": filepath.Join("..", "cluster"),
+	}
+	fset := token.NewFileSet()
+	for layer, dir := range layers {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s directory: %v", layer, err)
+		}
+		for _, entry := range entries {
+			name := entry.Name()
+			if entry.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			// Test files may import anything (oracles, harnesses).
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Errorf("parse %s: %v", path, err)
+				continue
+			}
+			for _, imp := range f.Imports {
+				importPath := strings.Trim(imp.Path.Value, `"`)
+				if why, bad := forbidden[importPath]; bad {
+					t.Errorf("%s/%s imports %s (%s): engine layers must not depend on transport",
+						layer, name, importPath, why)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexAndClusterDoNotImportCore checks direction within the engine:
+// the index and cluster layers sit below core and must not import it (or
+// each other's sibling, for cluster -> index).
+func TestIndexAndClusterDoNotImportCore(t *testing.T) {
+	forbidden := map[string]map[string]bool{
+		filepath.Join("..", "index"):   {"mie/internal/core": true},
+		filepath.Join("..", "cluster"): {"mie/internal/core": true, "mie/internal/index": true},
+	}
+	fset := token.NewFileSet()
+	for dir, banned := range forbidden {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, entry := range entries {
+			name := entry.Name()
+			if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Errorf("parse %s: %v", path, err)
+				continue
+			}
+			for _, imp := range f.Imports {
+				importPath := strings.Trim(imp.Path.Value, `"`)
+				if banned[importPath] {
+					t.Errorf("%s imports %s: upward dependency inside the engine", path, importPath)
+				}
+			}
+		}
+	}
+}

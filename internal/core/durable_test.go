@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"mie/internal/wal"
@@ -499,6 +500,100 @@ func TestDropRepositoryDoesNotResurrect(t *testing.T) {
 			t.Errorf("restart sees %v, want just [keep]", got)
 		}
 	})
+}
+
+// TestCrashMidCompaction extends the crash matrix to the segmented index:
+// the power cut lands while a background compaction is provably in flight
+// (held at its start hook). Compaction only reorganizes derived state, so
+// recovery must still land on exactly the acknowledged mutation set — the
+// snapshot's trained epoch plus the WAL-logged churn — with ranking intact.
+func TestCrashMidCompaction(t *testing.T) {
+	dir := t.TempDir()
+	disk := walfault.NewDisk()
+	walFileOpener = func(p string) (wal.File, error) { return disk.Open(p) }
+	t.Cleanup(func() { walFileOpener = nil })
+	c := testClient(t)
+	svc, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallRepoOptions("")
+	opts.Incremental.MemtableCap = 4
+	opts.Incremental.CompactSegments = 2
+	repo, err := svc.CreateRepository("mc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillRepo(t, c, repo, 3, 3)
+	if err := repo.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveService(svc, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the next background compaction at its start hook.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var startOnce, releaseOnce sync.Once
+	compactStartHook = func() {
+		startOnce.Do(func() { close(started) })
+		<-gate
+	}
+	release := func() { releaseOnce.Do(func() { close(gate) }) }
+	t.Cleanup(func() {
+		release()
+		compactStartHook = nil
+	})
+
+	// Post-snapshot churn lives only in the WAL; the incremental Train seals
+	// the memtables and fires the compactor, which parks at the hook.
+	for i, m := range crashMutations(t, c) {
+		if m.remove {
+			err = repo.Remove(m.id)
+		} else {
+			err = repo.Update(m.up)
+		}
+		if err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	if err := repo.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if got := repo.LastTrain().Mode; got != "incremental" {
+		t.Fatalf("retrain mode = %q, want incremental", got)
+	}
+	<-started // compaction is now provably mid-flight
+
+	// Power cut while the compactor holds segments mid-merge.
+	disk.File(filepath.Join(dir, walFileName("mc"))).Crash()
+	release()
+
+	svc2, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("recovery errored after mid-compaction crash: %v", err)
+	}
+	r2, err := svc2.Repository("mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.IsTrained() {
+		t.Fatal("trained state lost across mid-compaction crash")
+	}
+	// Every mutation above was acknowledged: the live repository IS the
+	// acknowledged-set oracle.
+	assertSameObjects(t, "mid-compaction", r2, repo)
+	if _, _, err := r2.Get("c"); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("acknowledged remove lost: %v", err)
+	}
+	got := searchIDs(t, c, r2, &Object{ID: "q", Text: "beta write ahead"}, 2)
+	if len(got) == 0 || got[0] != "b" {
+		t.Errorf("recovered search = %v, want b first", got)
+	}
+	if err := svc2.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestOrphanWALPruned: a .wal with no matching snapshot (a create or drop

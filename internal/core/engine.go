@@ -37,6 +37,13 @@ type ModalityEngine interface {
 	// return themselves unchanged (a dense engine keeps any existing
 	// codebook, so a later retrain can pick up data that arrived since).
 	Train(sample []vec.BitVec) (ModalityEngine, error)
+	// Refine returns a new engine whose trained state is warm-start refined
+	// from only the delta sample (the incremental half of Train). ok=false
+	// means the engine cannot refine — it has data to learn from but no
+	// prior codebook — and the caller must fall back to a full Train.
+	// Engines with nothing to refine (sparse modalities, empty delta) return
+	// themselves unchanged with ok=true and zero drift.
+	Refine(delta []vec.BitVec) (eng ModalityEngine, drift cluster.DriftReport, ok bool, err error)
 	// ExtractTerms maps one stored object's encodings for this modality into
 	// index terms; nil when the object carries nothing for this modality or
 	// the engine is not Ready.
@@ -104,12 +111,15 @@ func optsHaveModality(opts RepositoryOptions, m Modality) bool {
 
 type textEngine struct{}
 
-func (textEngine) Modality() Modality                             { return ModalityText }
-func (textEngine) Ready() bool                                    { return true }
-func (textEngine) InQuery(q *Query) bool                          { return len(q.TextTokens) > 0 }
-func (textEngine) TrainingSample(*storedObject) []vec.BitVec      { return nil }
-func (e textEngine) Train([]vec.BitVec) (ModalityEngine, error)   { return e, nil }
-func (textEngine) SnapshotState() []vec.BitVec                    { return nil }
+func (textEngine) Modality() Modality                           { return ModalityText }
+func (textEngine) Ready() bool                                  { return true }
+func (textEngine) InQuery(q *Query) bool                        { return len(q.TextTokens) > 0 }
+func (textEngine) TrainingSample(*storedObject) []vec.BitVec    { return nil }
+func (e textEngine) Train([]vec.BitVec) (ModalityEngine, error) { return e, nil }
+func (textEngine) SnapshotState() []vec.BitVec                  { return nil }
+func (e textEngine) Refine([]vec.BitVec) (ModalityEngine, cluster.DriftReport, bool, error) {
+	return e, cluster.DriftReport{}, true, nil
+}
 func (e textEngine) Restore([]vec.BitVec) (ModalityEngine, error) { return e, nil }
 func (textEngine) CodebookSize() int                              { return 0 }
 
@@ -212,6 +222,32 @@ func (e *denseEngine) Train(sample []vec.BitVec) (ModalityEngine, error) {
 	out := *e
 	out.vocab = vocab
 	return &out, nil
+}
+
+// Refine warm-starts mini-batch k-means from the current codebook words and
+// refines them against only the delta sample; the lookup tree is re-derived
+// deterministically from the refined words, exactly as Restore does. Without
+// a prior codebook refinement is impossible (ok=false): the caller falls
+// back to a full Train. An empty delta keeps the engine unchanged.
+func (e *denseEngine) Refine(delta []vec.BitVec) (ModalityEngine, cluster.DriftReport, bool, error) {
+	if len(delta) == 0 {
+		return e, cluster.DriftReport{}, true, nil
+	}
+	if e.vocab == nil {
+		return e, cluster.DriftReport{}, false, nil
+	}
+	res, err := cluster.RefineHammingKMeans(e.vocab.Words(), delta, cluster.RefineOptions{})
+	if err != nil {
+		return nil, cluster.DriftReport{}, false, err
+	}
+	hamCluster, dist := e.clusterFns()
+	vocab, err := cluster.NewVocabularyFromWords(res.Centroids, e.params.Tree, hamCluster, dist)
+	if err != nil {
+		return nil, cluster.DriftReport{}, false, err
+	}
+	out := *e
+	out.vocab = vocab
+	return &out, res.Drift, true, nil
 }
 
 func (e *denseEngine) term(word int) index.Term {

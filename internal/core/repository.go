@@ -38,6 +38,20 @@ type repoMetrics struct {
 	leakUpdateTokens   *obs.Counter
 	leakSearchDistinct *obs.Gauge
 	leakUpdateDistinct *obs.Gauge
+
+	// Segment/compaction telemetry: sealed-segment and memtable sizes across
+	// the per-modality indexes, background-compaction outcomes, and how every
+	// Train resolved (full rebuild vs incremental refinement vs forced back
+	// to full by codebook drift; last drift in permille of bits shifted).
+	indexSegments    *obs.Gauge
+	memtableDocs     *obs.Gauge
+	deadDocs         *obs.Gauge
+	compactions      *obs.Counter
+	compactErrors    *obs.Counter
+	trainFull        *obs.Counter
+	trainIncremental *obs.Counter
+	driftFallbacks   *obs.Counter
+	driftPermille    *obs.Gauge
 }
 
 func newRepoMetrics(reg *obs.Registry, id string) *repoMetrics {
@@ -52,6 +66,16 @@ func newRepoMetrics(reg *obs.Registry, id string) *repoMetrics {
 		leakUpdateTokens:   reg.Counter(obs.L("repo_leak_update_token_mass_total", "repo", id)),
 		leakSearchDistinct: reg.Gauge(obs.L("repo_leak_distinct_search_tokens", "repo", id)),
 		leakUpdateDistinct: reg.Gauge(obs.L("repo_leak_distinct_update_tokens", "repo", id)),
+
+		indexSegments:    reg.Gauge(obs.L("repo_index_segments", "repo", id)),
+		memtableDocs:     reg.Gauge(obs.L("repo_index_memtable_docs", "repo", id)),
+		deadDocs:         reg.Gauge(obs.L("repo_index_dead_docs", "repo", id)),
+		compactions:      reg.Counter(obs.L("repo_index_compactions_total", "repo", id)),
+		compactErrors:    reg.Counter(obs.L("repo_index_compact_errors_total", "repo", id)),
+		trainFull:        reg.Counter(obs.L("repo_train_full_total", "repo", id)),
+		trainIncremental: reg.Counter(obs.L("repo_train_incremental_total", "repo", id)),
+		driftFallbacks:   reg.Counter(obs.L("repo_train_drift_fallback_total", "repo", id)),
+		driftPermille:    reg.Gauge(obs.L("repo_train_drift_permille", "repo", id)),
 	}
 }
 
@@ -88,6 +112,32 @@ type RepositoryOptions struct {
 	// StoreShards is the shard count of the object store; 0 means
 	// store.DefaultShards.
 	StoreShards int
+	// Incremental tunes incremental training and the segmented index.
+	Incremental IncrementalOptions
+}
+
+// IncrementalOptions governs the incremental train/index pipeline: how large
+// the mutable memtable segment may grow, when background compaction merges
+// sealed segments, and how much codebook drift a warm-started refinement may
+// accumulate before Train falls back to a full re-cluster + index rebuild.
+type IncrementalOptions struct {
+	// Disable forces every Train through the full rebuild path (the
+	// pre-incremental behavior). The segmented index layout is kept.
+	Disable bool
+	// DriftThreshold is the normalized mean centroid Hamming shift above
+	// which a refined codebook is rejected and Train re-clusters from
+	// scratch. 0 means 0.15; negative disables the check.
+	DriftThreshold float64
+	// ReassignThreshold is the fraction of delta samples whose nearest word
+	// changed during refinement above which Train re-clusters from scratch.
+	// 0 means 0.5; negative disables the check.
+	ReassignThreshold float64
+	// MemtableCap is the per-index memtable size at which it auto-seals into
+	// an immutable segment; 0 means index.DefaultMemtableCap.
+	MemtableCap int
+	// CompactSegments is the sealed-segment count that triggers background
+	// compaction; 0 means index.DefaultCompactSegments.
+	CompactSegments int
 }
 
 func (o *RepositoryOptions) setDefaults() {
@@ -105,6 +155,18 @@ func (o *RepositoryOptions) setDefaults() {
 	}
 	if o.TrainingSampleCap == 0 {
 		o.TrainingSampleCap = 20000
+	}
+	if o.Incremental.DriftThreshold == 0 {
+		o.Incremental.DriftThreshold = 0.15
+	}
+	if o.Incremental.ReassignThreshold == 0 {
+		o.Incremental.ReassignThreshold = 0.5
+	}
+	if o.Incremental.MemtableCap == 0 {
+		o.Incremental.MemtableCap = index.DefaultMemtableCap
+	}
+	if o.Incremental.CompactSegments == 0 {
+		o.Incremental.CompactSegments = index.DefaultCompactSegments
 	}
 }
 
@@ -147,8 +209,11 @@ type repoState struct {
 	// engines is the per-modality retrieval logic, in fusion order
 	// (text, image, audio).
 	engines []ModalityEngine
-	// indexes is parallel to engines; nil before the first Train.
-	indexes []*index.Inverted
+	// indexes is parallel to engines; nil before the first Train. An
+	// incremental Train carries these pointers forward into the next epoch
+	// (only the engines change), so retiring an epoch must only close its
+	// indexes when the successor actually replaced them.
+	indexes []*index.Segmented
 	// spillDirs is parallel to indexes: the per-epoch spill directory of
 	// each index ("" when spilling is off), removed when the epoch retires.
 	spillDirs []string
@@ -205,11 +270,51 @@ type Repository struct {
 	wal *wal.Log
 	// changelog is non-nil while a Train is in flight (guarded by writeMu).
 	changelog *changelog
+	// deltaIDs (guarded by writeMu) accumulates the object ids touched by
+	// Update/Remove since the last Train install — the changelog the
+	// incremental train path refines codebooks from and re-indexes.
+	deltaIDs map[string]struct{}
 	// trainMu serializes Train calls; searches and writes proceed under it.
 	trainMu sync.Mutex
 	// jobs tracks asynchronous training runs (TrainStart/TrainWait).
 	jobs jobTable
+	// lastTrain records how the most recent Train resolved (for telemetry
+	// and the incremental-vs-rebuild experiment).
+	lastTrain atomic.Pointer[TrainInfo]
+
+	// Background-compaction control: compacting is a single-flight latch,
+	// compactMu guards the remaining fields against the WaitGroup add/wait
+	// race on Close, and compactWG tracks the in-flight compactor goroutine.
+	// A request arriving while a pass is in flight is not dropped: it sets
+	// compactPending (carrying the start hook active at request time) and the
+	// compactor runs one more pass before exiting.
+	compacting     atomic.Bool
+	compactMu      sync.Mutex
+	compactClosed  bool
+	compactPending bool
+	pendingHook    func()
+	compactWG      sync.WaitGroup
 }
+
+// TrainInfo describes how one Train call resolved.
+type TrainInfo struct {
+	// Epoch is the generation the train installed.
+	Epoch uint64
+	// Mode is "full" (re-cluster + index rebuild) or "incremental"
+	// (warm-started codebook refinement over the delta, indexes carried).
+	Mode string
+	// DriftFallback is true when an incremental attempt measured drift over
+	// threshold and the run was forced through the full path.
+	DriftFallback bool
+	// Drift is the refinement drift report (incremental attempts only).
+	Drift cluster.DriftReport
+	// DeltaDocs is the number of changed objects the incremental path
+	// refined from and re-indexed.
+	DeltaDocs int
+}
+
+// LastTrain returns how the most recent Train resolved (nil before any).
+func (r *Repository) LastTrain() *TrainInfo { return r.lastTrain.Load() }
 
 // Test hooks (nil outside tests): updateIndexHook injects an index failure
 // for one modality inside Update's index step, so the rollback path is
@@ -220,6 +325,10 @@ var (
 	updateIndexHook  func(Modality) error
 	trainInstallHook func()
 	searchStartHook  func()
+	// compactStartHook runs inside the background compactor goroutine before
+	// it touches any index, so tests can freeze a compaction mid-flight (the
+	// crash-matrix case) or serialize against it.
+	compactStartHook func()
 )
 
 // SetTrainInstallHookForTest installs (or, with nil, clears) the off-lock
@@ -242,11 +351,12 @@ func NewRepository(id string, opts RepositoryOptions) (*Repository, error) {
 	}
 	opts.setDefaults()
 	r := &Repository{
-		id:      id,
-		opts:    opts,
-		met:     newRepoMetrics(obs.Default(), id),
-		objects: store.New[*storedObject](opts.StoreShards),
-		leak:    newLeakage(),
+		id:       id,
+		opts:     opts,
+		met:      newRepoMetrics(obs.Default(), id),
+		objects:  store.New[*storedObject](opts.StoreShards),
+		leak:     newLeakage(),
+		deltaIDs: make(map[string]struct{}),
 	}
 	r.state.Store(&repoState{engines: newEngines(opts)})
 	return r, nil
@@ -353,6 +463,7 @@ func (r *Repository) UpdateContext(ctx context.Context, up *Update) error {
 	if cl := r.changelog; cl != nil {
 		cl.recs = append(cl.recs, changeRec{epoch: st.epoch, id: up.ObjectID, obj: obj})
 	}
+	r.deltaIDs[up.ObjectID] = struct{}{}
 	r.met.objects.Set(int64(r.objects.Len()))
 	r.met.leakUpdateTokens.Add(int64(r.leak.recordUpdate(up)))
 	r.met.leakUpdateDistinct.Set(int64(r.leak.DistinctUpdateTokens()))
@@ -419,6 +530,7 @@ func (r *Repository) RemoveContext(ctx context.Context, objectID string) error {
 				idx.Remove(doc)
 			}
 		}
+		r.deltaIDs[objectID] = struct{}{}
 	}
 	if cl := r.changelog; cl != nil {
 		cl.recs = append(cl.recs, changeRec{epoch: st.epoch, remove: true, id: objectID})
@@ -510,18 +622,30 @@ func (r *Repository) GetContext(ctx context.Context, objectID string) (ciphertex
 }
 
 // Train runs the machine-learning step in the cloud (CLOUD.Train,
-// Algorithm 6): flat k-means over the stored Dense-DPE encodings of each
-// dense modality — in Hamming space, since that is what the encodings
-// preserve — selects the codebook words, a lookup tree is built over them,
-// and every stored object is (re)indexed. Sparse modalities need no
-// training; their index is simply (re)built. Train may be invoked again
-// later to retrain with different parameters.
+// Algorithm 6). On the first call — or whenever refinement is impossible or
+// drifted too far — it is a full rebuild: flat k-means over the stored
+// Dense-DPE encodings of each dense modality — in Hamming space, since that
+// is what the encodings preserve — selects the codebook words, a lookup tree
+// is built over them, and every stored object is (re)indexed. Sparse
+// modalities need no training; their index is simply (re)built.
 //
-// Train never blocks readers or writers for its duration: it opens a
-// generation-stamped changelog, snapshots the store, builds the codebooks
-// and a fresh index set entirely off-lock, then replays the changelog and
-// installs the new epoch with one atomic swap. A Search issued mid-training
-// is served by the previous epoch throughout.
+// On a trained repository Train is incremental: a compaction policy, not a
+// rebuild. The codebooks are warm-start refined from only the encodings of
+// objects changed since the last Train (mini-batch k-means seeded with the
+// previous centroids), those delta objects are re-indexed in place, the
+// memtable segments are sealed and background compaction is requested —
+// cost proportional to the churn, not the corpus. A quantization-drift
+// metric guards the shortcut: past Incremental.DriftThreshold (or
+// ReassignThreshold) the refined codebook is rejected and the run falls
+// back to the full rebuild above.
+//
+// Train never blocks readers or writers for its duration: the full path
+// opens a generation-stamped changelog, snapshots the store, builds the
+// codebooks and a fresh index set entirely off-lock, then replays the
+// changelog and installs the new epoch with one atomic swap; the
+// incremental path refines off-lock and only takes the write lock to
+// re-index the delta. A Search issued mid-training is served by the
+// previous epoch throughout.
 func (r *Repository) Train() error { return r.TrainContext(context.Background()) }
 
 // TrainContext is Train with cooperative cancellation: the context is
@@ -536,6 +660,14 @@ func (r *Repository) TrainContext(ctx context.Context) error {
 	r.trainMu.Lock()
 	defer r.trainMu.Unlock()
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Incremental fast path: on a trained repository with an intact codebook
+	// lineage, refine from the delta instead of rebuilding. Falls through to
+	// the full rebuild when disabled, untrained, refinement is impossible,
+	// or drift exceeded the threshold.
+	if handled, err := r.tryTrainIncremental(ctx, sp); handled {
 		return err
 	}
 
@@ -623,6 +755,8 @@ func (r *Repository) TrainContext(ctx context.Context) error {
 		spillDirs: spillDirs,
 	})
 	r.changelog = nil
+	// A full rebuild re-indexed everything; the accumulated delta is spent.
+	r.deltaIDs = make(map[string]struct{})
 	// Phase 5 — retire the previous epoch's indexes: close spill logs and
 	// drop their now-unreferenced spill directories. In-flight searches
 	// that loaded the old state only read its in-memory postings, so
@@ -638,6 +772,16 @@ func (r *Repository) TrainContext(ctx context.Context) error {
 			r.met.audioVocabWords.Set(int64(eng.CodebookSize()))
 		}
 	}
+	r.met.trainFull.Inc()
+	info := &TrainInfo{Epoch: cl.epoch, Mode: "full"}
+	if prev := r.lastTrain.Load(); prev != nil && prev.DriftFallback && prev.Epoch == cl.epoch {
+		// tryTrainIncremental pre-recorded the fallback for this epoch; keep
+		// its drift report on the final record.
+		info.DriftFallback = true
+		info.Drift = prev.Drift
+	}
+	r.lastTrain.Store(info)
+	r.updateIndexGauges()
 	r.leak.recordTrain(r.id)
 	return nil
 }
@@ -657,19 +801,301 @@ func trainingSample(eng ModalityEngine, snap map[string]*storedObject, ids []str
 	return sample
 }
 
+// tryTrainIncremental attempts the incremental train path: refine the
+// codebooks from only the delta sample (warm-started from the previous
+// epoch), re-index just the delta objects against the refined engines, seal
+// the memtables and hand merging to the background compactor. Returns
+// handled=false when the run must go through the full rebuild instead —
+// incremental training disabled, repository untrained, a modality has delta
+// data but no prior codebook, or measured drift exceeded the thresholds.
+func (r *Repository) tryTrainIncremental(ctx context.Context, sp *obs.Span) (handled bool, err error) {
+	if r.opts.Incremental.Disable {
+		return false, nil
+	}
+	r.writeMu.Lock()
+	cur := r.state.Load()
+	if !cur.trained {
+		r.writeMu.Unlock()
+		return false, nil
+	}
+	deltaIDs := make([]string, 0, len(r.deltaIDs))
+	for id := range r.deltaIDs {
+		deltaIDs = append(deltaIDs, id)
+	}
+	r.writeMu.Unlock()
+	// Deterministic sample order, mirroring the full path's sorted snapshot.
+	sort.Strings(deltaIDs)
+
+	// Refine each engine off-lock from the delta sample. Removed objects
+	// contribute no encodings; they are handled at the re-index step.
+	isp := sp.Child("incremental_refine")
+	defer isp.End()
+	deltaObjs := make(map[string]*storedObject, len(deltaIDs))
+	liveIDs := make([]string, 0, len(deltaIDs))
+	for _, id := range deltaIDs {
+		if obj, ok := r.objects.Get(id); ok {
+			deltaObjs[id] = obj
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	engines := make([]ModalityEngine, len(cur.engines))
+	var worst cluster.DriftReport
+	for i, eng := range cur.engines {
+		if err := ctx.Err(); err != nil {
+			return true, err
+		}
+		sample := trainingSample(eng, deltaObjs, liveIDs, r.opts.TrainingSampleCap)
+		refined, drift, ok, err := eng.Refine(sample)
+		if err != nil {
+			return true, fmt.Errorf("core: refine %s codebook: %w", eng.Modality(), err)
+		}
+		if !ok {
+			// Data arrived for a modality that never trained: only a full
+			// re-cluster can give it a codebook.
+			return false, nil
+		}
+		if drift.MeanShift > worst.MeanShift {
+			worst.MeanShift = drift.MeanShift
+		}
+		if drift.MaxShift > worst.MaxShift {
+			worst.MaxShift = drift.MaxShift
+		}
+		if drift.ReassignedFraction > worst.ReassignedFraction {
+			worst.ReassignedFraction = drift.ReassignedFraction
+		}
+		engines[i] = refined
+	}
+	r.met.driftPermille.Set(int64(worst.MeanShift * 1000))
+	if worst.Exceeds(r.opts.Incremental.DriftThreshold, r.opts.Incremental.ReassignThreshold) {
+		// The delta pulled the codebook too far from the epoch the standing
+		// postings were quantized under: re-cluster from scratch. Record the
+		// decision so the full path can attribute its run to drift.
+		r.met.driftFallbacks.Inc()
+		r.lastTrain.Store(&TrainInfo{
+			Epoch:         cur.epoch + 1,
+			Mode:          "full",
+			DriftFallback: true,
+			Drift:         worst,
+			DeltaDocs:     len(deltaIDs),
+		})
+		return false, nil
+	}
+	if hook := trainInstallHook; hook != nil {
+		hook()
+	}
+	if err := ctx.Err(); err != nil {
+		return true, err
+	}
+
+	// Install: under the write lock, re-index every object in the (possibly
+	// grown) delta set against the refined engines and swap the epoch. The
+	// index pointers carry over — updates already landed in the live
+	// segmented indexes; only the delta's quantization changes. Objects not
+	// in the delta keep their previous-epoch quantization, which is exactly
+	// the bounded staleness the drift threshold guards.
+	r.writeMu.Lock()
+	rsp := sp.Child("incremental_reindex")
+	reindexed := 0
+	for id := range r.deltaIDs {
+		doc := index.DocID(id)
+		obj, live := r.objects.Get(id)
+		for i := range engines {
+			idx := cur.indexes[i]
+			if idx == nil {
+				continue
+			}
+			idx.Remove(doc)
+			if !live {
+				continue
+			}
+			terms := engines[i].ExtractTerms(obj)
+			if len(terms) == 0 {
+				continue
+			}
+			if err := idx.Add(doc, terms); err != nil {
+				rsp.End()
+				r.writeMu.Unlock()
+				return true, fmt.Errorf("core: incremental reindex %s: %w", id, err)
+			}
+		}
+		reindexed++
+	}
+	rsp.End()
+	r.deltaIDs = make(map[string]struct{})
+	r.state.Store(&repoState{
+		epoch:     cur.epoch + 1,
+		trained:   true,
+		engines:   engines,
+		indexes:   cur.indexes,
+		spillDirs: cur.spillDirs,
+	})
+	r.writeMu.Unlock()
+	// NOTE: cur's indexes are shared with the new epoch — do not close them.
+
+	// Train as compaction policy: freeze the memtables into sealed segments
+	// and let the background compactor merge. Sealing is O(1); the merge is
+	// off the Train critical path.
+	for _, idx := range cur.indexes {
+		if idx != nil {
+			if err := idx.Seal(); err != nil {
+				return true, err
+			}
+		}
+	}
+	r.requestCompaction()
+
+	for _, eng := range engines {
+		switch eng.Modality() {
+		case ModalityImage:
+			r.met.vocabWords.Set(int64(eng.CodebookSize()))
+		case ModalityAudio:
+			r.met.audioVocabWords.Set(int64(eng.CodebookSize()))
+		}
+	}
+	r.met.trainIncremental.Inc()
+	r.lastTrain.Store(&TrainInfo{
+		Epoch:     cur.epoch + 1,
+		Mode:      "incremental",
+		Drift:     worst,
+		DeltaDocs: reindexed,
+	})
+	r.updateIndexGauges()
+	r.leak.recordTrain(r.id)
+	return true, nil
+}
+
+// requestCompaction spawns (at most one at a time) a background goroutine
+// that compacts every index of the current epoch that needs it. Wired as the
+// segmented indexes' OnSeal hook and called after every incremental Train,
+// so sealed segments are merged shortly after they accumulate. Safe to call
+// from any goroutine; never blocks; a no-op after Close.
+func (r *Repository) requestCompaction() {
+	r.compactMu.Lock()
+	defer r.compactMu.Unlock()
+	if r.compactClosed {
+		return
+	}
+	// Capture the test hook in the requesting goroutine: requests happen on
+	// mutator/train paths, so a test installing the hook before triggering a
+	// seal is ordered before this read.
+	hook := compactStartHook
+	if !r.compacting.CompareAndSwap(false, true) {
+		// A pass is already in flight (possibly requested before this
+		// request's segments were sealed). Dropping the request here would
+		// leave those segments unmerged until the next seal happens to land
+		// in a quiet window, so record it — hook included — and the running
+		// compactor reruns once more before exiting.
+		r.compactPending = true
+		r.pendingHook = hook
+		return
+	}
+	r.compactWG.Add(1)
+	go func() {
+		defer r.compactWG.Done()
+		for {
+			r.compactPass(hook)
+			r.compactMu.Lock()
+			if r.compactClosed || !r.compactPending {
+				r.compacting.Store(false)
+				r.compactMu.Unlock()
+				return
+			}
+			r.compactPending = false
+			hook = r.pendingHook
+			r.pendingHook = nil
+			r.compactMu.Unlock()
+		}
+	}()
+}
+
+// compactPass is one background-compactor sweep over the current epoch's
+// indexes.
+func (r *Repository) compactPass(hook func()) {
+	if hook != nil {
+		hook()
+	}
+	_, csp := obs.StartSpan(context.Background(), r.met.reg, "repo/compact")
+	defer csp.End()
+	st := r.state.Load()
+	for _, idx := range st.indexes {
+		if idx == nil || !idx.NeedsCompaction() {
+			continue
+		}
+		if err := idx.Compact(); err != nil {
+			// The epoch may have been retired (spill dirs removed) while
+			// we merged; the next compaction of the live epoch catches up.
+			r.met.compactErrors.Inc()
+			csp.SetError(err)
+			continue
+		}
+		r.met.compactions.Inc()
+	}
+	r.updateIndexGauges()
+}
+
+// CompactNow synchronously compacts every index of the current epoch,
+// regardless of thresholds — the deterministic variant of the background
+// compactor for tests, benchmarks and operational tooling.
+func (r *Repository) CompactNow() error {
+	st := r.state.Load()
+	for _, idx := range st.indexes {
+		if idx == nil {
+			continue
+		}
+		if err := idx.Compact(); err != nil {
+			return err
+		}
+		r.met.compactions.Inc()
+	}
+	r.updateIndexGauges()
+	return nil
+}
+
+// IndexStats returns per-modality segment statistics for the current epoch,
+// keyed by modality.
+func (r *Repository) IndexStats() map[Modality]index.SegmentStats {
+	st := r.state.Load()
+	out := make(map[Modality]index.SegmentStats, len(st.engines))
+	for i, eng := range st.engines {
+		if i < len(st.indexes) && st.indexes[i] != nil {
+			out[eng.Modality()] = st.indexes[i].Stats()
+		}
+	}
+	return out
+}
+
+// updateIndexGauges refreshes the segment/memtable/garbage gauges from the
+// current epoch's indexes.
+func (r *Repository) updateIndexGauges() {
+	st := r.state.Load()
+	var segs, memDocs, dead int
+	for _, idx := range st.indexes {
+		if idx == nil {
+			continue
+		}
+		s := idx.Stats()
+		segs += s.SealedSegments
+		memDocs += s.MemtableDocs
+		dead += s.DeadDocs
+	}
+	r.met.indexSegments.Set(int64(segs))
+	r.met.memtableDocs.Set(int64(memDocs))
+	r.met.deadDocs.Set(int64(dead))
+}
+
 // buildIndexes creates one inverted index per engine for the given epoch and
 // bulk-loads the snapshot into it. Shared between Train and snapshot
 // restore. On error, indexes already built are closed.
-func (r *Repository) buildIndexes(engines []ModalityEngine, epoch uint64, snap map[string]*storedObject, ids []string) ([]*index.Inverted, []string, error) {
-	indexes := make([]*index.Inverted, len(engines))
+func (r *Repository) buildIndexes(engines []ModalityEngine, epoch uint64, snap map[string]*storedObject, ids []string) ([]*index.Segmented, []string, error) {
+	indexes := make([]*index.Segmented, len(engines))
 	spillDirs := make([]string, len(engines))
-	fail := func(err error) ([]*index.Inverted, []string, error) {
+	fail := func(err error) ([]*index.Segmented, []string, error) {
 		closeIndexes(indexes, spillDirs)
 		return nil, nil, err
 	}
 	for i, eng := range engines {
 		opts := r.indexOptions(string(eng.Modality()), epoch)
-		idx, err := index.New(opts)
+		idx, err := index.NewSegmented(r.segmentedOptions(opts))
 		if err != nil {
 			return fail(err)
 		}
@@ -684,15 +1110,31 @@ func (r *Repository) buildIndexes(engines []ModalityEngine, epoch uint64, snap m
 		if err := idx.AddBatch(batch); err != nil {
 			return fail(err)
 		}
+		// Freeze the bulk load into one sealed segment, so the epoch starts
+		// with an empty memtable and post-train updates accumulate separately.
+		if err := idx.Seal(); err != nil {
+			return fail(err)
+		}
 	}
 	return indexes, spillDirs, nil
+}
+
+// segmentedOptions wraps one modality's index options in the repository's
+// segmentation knobs, wiring auto-seal to the background compactor.
+func (r *Repository) segmentedOptions(opts index.Options) index.SegmentedOptions {
+	return index.SegmentedOptions{
+		Index:           opts,
+		MemtableCap:     r.opts.Incremental.MemtableCap,
+		CompactSegments: r.opts.Incremental.CompactSegments,
+		OnSeal:          r.requestCompaction,
+	}
 }
 
 // replayChangelog applies the writes captured during off-lock training to
 // the next epoch's indexes. Replay is idempotent (remove-then-add), so an
 // object both present in the snapshot and logged converges to its logged
 // version.
-func replayChangelog(engines []ModalityEngine, indexes []*index.Inverted, cl *changelog) error {
+func replayChangelog(engines []ModalityEngine, indexes []*index.Segmented, cl *changelog) error {
 	for _, rec := range cl.recs {
 		if rec.epoch >= cl.epoch {
 			// Stamped by a later generation than the one being built; can
@@ -727,7 +1169,7 @@ func replayChangelog(engines []ModalityEngine, indexes []*index.Inverted, cl *ch
 
 // closeIndexes closes an epoch's indexes and removes their per-epoch spill
 // directories (best effort).
-func closeIndexes(indexes []*index.Inverted, spillDirs []string) {
+func closeIndexes(indexes []*index.Segmented, spillDirs []string) {
 	for i, idx := range indexes {
 		if idx == nil {
 			continue
@@ -853,25 +1295,19 @@ func (r *Repository) searchModality(st *repoState, i int, eng ModalityEngine, q 
 	return eng.LinearSearch(q, r.objects, depth)
 }
 
-// MergeIndexes compacts the disk-spilled portions of the per-modality
-// indexes (the background merge of §VI).
-func (r *Repository) MergeIndexes() error {
-	r.writeMu.Lock()
-	defer r.writeMu.Unlock()
-	st := r.state.Load()
-	for _, idx := range st.indexes {
-		if idx == nil {
-			continue
-		}
-		if err := idx.Merge(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// MergeIndexes merges the per-modality indexes' sealed segments (and their
+// disk-spilled champion lists) into one — the background merge of §VI, run
+// synchronously on demand.
+func (r *Repository) MergeIndexes() error { return r.CompactNow() }
 
-// Close releases index resources (spill logs) and the write-ahead log.
+// Close releases index resources (spill logs) and the write-ahead log. Any
+// in-flight background compaction is waited out first, so no merge races the
+// teardown.
 func (r *Repository) Close() error {
+	r.compactMu.Lock()
+	r.compactClosed = true
+	r.compactMu.Unlock()
+	r.compactWG.Wait()
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	st := r.state.Load()

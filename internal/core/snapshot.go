@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"mie/internal/dpe"
+	"mie/internal/index"
 	"mie/internal/obs"
 	"mie/internal/vec"
 )
@@ -29,12 +30,15 @@ type snapshotObject struct {
 	AudioEncs  []vec.BitVec
 }
 
-// snapshot is the on-disk form of a Repository. The inverted indexes are
-// NOT serialized: they are derived state, rebuilt deterministically from the
-// stored encodings and vocabulary at load time — simpler, robust against
-// index format evolution, and it exercises the same code path as Train.
-// The format predates the layered engine and is kept unchanged, so
-// snapshots written by the old flat layout restore cleanly.
+// snapshot is the on-disk form of a Repository. Early versions did not
+// serialize the inverted indexes — they were derived state, rebuilt from the
+// stored encodings and vocabulary at load time. With incremental training
+// that stopped being true: objects not touched since an incremental Train
+// keep the quantization of the epoch that indexed them, so a rebuild under
+// the current codebook could shift rankings. IndexSegments therefore pins
+// the live postings of every segment (gob encodes a nil slice as absent, so
+// old snapshots still decode; the loader falls back to the legacy rebuild
+// when the field is missing).
 type snapshot struct {
 	Magic      string
 	ID         string
@@ -43,6 +47,10 @@ type snapshot struct {
 	Trained    bool
 	VocabWords []vec.BitVec
 	AudioWords []vec.BitVec
+	// IndexSegments is parallel to the engine set: per modality, the live
+	// postings grouped by segment (memtable last). Nil in pre-segmented
+	// snapshots.
+	IndexSegments [][][]index.BatchDoc
 }
 
 // Snapshot serializes the repository's durable state to w. Safe to call
@@ -87,6 +95,19 @@ func (r *Repository) snapshotLocked(w io.Writer) error {
 			snap.VocabWords = eng.SnapshotState()
 		case ModalityAudio:
 			snap.AudioWords = eng.SnapshotState()
+		}
+	}
+	if st.trained {
+		snap.IndexSegments = make([][][]index.BatchDoc, len(st.indexes))
+		for i, idx := range st.indexes {
+			if idx == nil {
+				continue
+			}
+			groups, err := idx.SegmentBatches()
+			if err != nil {
+				return fmt.Errorf("core: snapshot %s index segments: %w", r.id, err)
+			}
+			snap.IndexSegments[i] = groups
 		}
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
@@ -151,18 +172,45 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 		}
 		engines[i] = restored
 	}
-	objs := r.objects.Items()
-	ids := make([]string, 0, len(objs))
-	for id := range objs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	indexes, spillDirs, err := r.buildIndexes(engines, cur.epoch+1, objs, ids)
-	if err != nil {
-		return nil, err
+	epoch := cur.epoch + 1
+	var indexes []*index.Segmented
+	var spillDirs []string
+	if len(snap.IndexSegments) == len(engines) {
+		// Segmented layout: restore the exact segment structure and postings
+		// the snapshot pinned, preserving per-epoch quantization.
+		indexes = make([]*index.Segmented, len(engines))
+		spillDirs = make([]string, len(engines))
+		for i, eng := range engines {
+			iopts := r.indexOptions(string(eng.Modality()), epoch)
+			idx, err := index.NewSegmented(r.segmentedOptions(iopts))
+			if err != nil {
+				closeIndexes(indexes, spillDirs)
+				return nil, err
+			}
+			indexes[i] = idx
+			spillDirs[i] = iopts.SpillDir
+			if err := idx.LoadSegments(snap.IndexSegments[i]); err != nil {
+				closeIndexes(indexes, spillDirs)
+				return nil, fmt.Errorf("core: restore %s index segments: %w", eng.Modality(), err)
+			}
+		}
+	} else {
+		// Legacy layout (no serialized segments): rebuild through the same
+		// bulk path Train uses.
+		objs := r.objects.Items()
+		ids := make([]string, 0, len(objs))
+		for id := range objs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var err error
+		indexes, spillDirs, err = r.buildIndexes(engines, epoch, objs, ids)
+		if err != nil {
+			return nil, err
+		}
 	}
 	r.state.Store(&repoState{
-		epoch:     cur.epoch + 1,
+		epoch:     epoch,
 		trained:   true,
 		engines:   engines,
 		indexes:   indexes,

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIncrementalExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	cfg := Quick()
+	report, err := IncrementalExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Mode != "incremental" {
+		t.Errorf("second train resolved as %q, want incremental (drift %.4f/%.4f)",
+			report.Mode, report.DriftMeanShift, report.DriftReassigned)
+	}
+	if report.DeltaDocs != report.ChurnDocs {
+		t.Errorf("delta docs = %d, want churn size %d", report.DeltaDocs, report.ChurnDocs)
+	}
+	if report.Speedup <= 1 {
+		t.Errorf("incremental retrain not faster: speedup %.2fx (full %.1f ms, incremental %.1f ms)",
+			report.Speedup, report.FullRetrainMs, report.IncrementalRetrainMs)
+	}
+	// The headline precision claim: incremental training costs at most a
+	// couple mAP points vs the rebuild (quick scale is noisy, allow 5).
+	if report.MAPDelta > 0.05 {
+		t.Errorf("mAP diverged: full %.4f vs incremental %.4f", report.MAPFullRebuild, report.MAPIncremental)
+	}
+	// Compaction must not change what search returns.
+	if d := report.MAPCompacted - report.MAPIncremental; d > 1e-9 || d < -1e-9 {
+		t.Errorf("compaction changed mAP: %.6f -> %.6f", report.MAPIncremental, report.MAPCompacted)
+	}
+	if report.SealedSegments < 1 {
+		t.Errorf("no sealed segments after retrain: %+v", report)
+	}
+
+	var buf bytes.Buffer
+	WriteIncrementalReport(&buf, report)
+	for _, want := range []string{"speedup", "mAP", "compaction"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report text missing %q:\n%s", want, buf.String())
+		}
+	}
+}

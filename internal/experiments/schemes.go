@@ -41,6 +41,12 @@ type mieStack struct {
 }
 
 func newMIE(cfg Config, meter *device.Meter, repoID string) (*mieStack, error) {
+	return newMIERepo(cfg, meter, repoID, core.RepositoryOptions{Vocab: cfg.vocab()})
+}
+
+// newMIERepo is newMIE with explicit repository options — the incremental
+// experiment needs two stacks that differ only in IncrementalOptions.
+func newMIERepo(cfg Config, meter *device.Meter, repoID string, ropts core.RepositoryOptions) (*mieStack, error) {
 	// OutDim 2048 keeps encodings at least as large as the plaintext
 	// descriptors (64 float32s), the condition §VII-D gives for Dense-DPE
 	// not to hurt retrieval precision.
@@ -53,7 +59,7 @@ func newMIE(cfg Config, meter *device.Meter, repoID string) (*mieStack, error) {
 	if err != nil {
 		return nil, err
 	}
-	repo, err := core.NewRepository(repoID, core.RepositoryOptions{Vocab: cfg.vocab()})
+	repo, err := core.NewRepository(repoID, ropts)
 	if err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@
 //
 // The context-free OpenLocal/OpenRemote entry points and the
 // LegacyRepository interface they return are kept as deprecated shims for
-// pre-v2 callers.
+// pre-v2 callers; they will be removed in a future PR.
 package mie
 
 import (
@@ -463,7 +463,8 @@ func waitTrained(ctx context.Context, job *TrainJob) error {
 // existing callers compile unchanged. New code should use Repository via
 // Open; see the README migration notes.
 //
-// Deprecated: use Repository.
+// Deprecated: use Repository. The shim will be removed in a future PR; no
+// in-repo code depends on it anymore (the pins in mie_test.go are deliberate).
 type LegacyRepository interface {
 	// Add uploads (or replaces) an object encrypted under dataKey.
 	Add(obj *Object, dataKey DataKey) error
@@ -499,6 +500,7 @@ func (l legacyRepo) Get(objectID string) ([]byte, string, error) {
 //
 // Deprecated: use Open with Options{Service: svc, Create: true}; it reports
 // reuse via ErrRepositoryExists instead of discarding the options silently.
+// The shim will be removed in a future PR.
 func OpenLocal(svc *Service, c *Client, repoID string, opts RepositoryOptions) (LegacyRepository, error) {
 	r, err := Open(context.Background(), Options{
 		Service: svc,
@@ -518,7 +520,7 @@ func OpenLocal(svc *Service, c *Client, repoID string, opts RepositoryOptions) (
 
 // RemoteOptions configures OpenRemote.
 //
-// Deprecated: use Options with Open.
+// Deprecated: use Options with Open. The shim will be removed in a future PR.
 type RemoteOptions struct {
 	// Create requests repository creation; set it on first open.
 	Create bool
@@ -531,7 +533,8 @@ type RemoteOptions struct {
 // OpenRemote dials an MIE server and returns a context-free repository
 // handle. Release it with the package-level Close.
 //
-// Deprecated: use Open with Options{Addr: addr}.
+// Deprecated: use Open with Options{Addr: addr}. The shim will be removed in
+// a future PR.
 func OpenRemote(addr string, c *Client, repoID string, opts RemoteOptions) (LegacyRepository, error) {
 	r, err := Open(context.Background(), Options{
 		Addr:   addr,
@@ -553,7 +556,7 @@ func OpenRemote(addr string, c *Client, repoID string, opts RemoteOptions) (Lega
 // Close releases a legacy repository handle's connection; local handles
 // ignore it.
 //
-// Deprecated: use Repository.Close.
+// Deprecated: use Repository.Close. The shim will be removed in a future PR.
 func Close(r LegacyRepository) error {
 	if lr, ok := r.(legacyRepo); ok {
 		return lr.r.Close()

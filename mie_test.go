@@ -40,6 +40,10 @@ func smallRepoOptions() RepositoryOptions {
 	}}
 }
 
+// TestLocalRepositoryLifecycle and the other OpenLocal/OpenRemote tests
+// below deliberately exercise the deprecated context-free shims: they are
+// the compatibility pins that keep the legacy contract honest until the
+// shims are removed. All other callers have migrated to Open.
 func TestLocalRepositoryLifecycle(t *testing.T) {
 	key, err := NewRepositoryKey()
 	if err != nil {

@@ -29,7 +29,27 @@ for pkg in internal/server internal/client; do
     fi
 done
 
+# Layering gate first and by name: the segmented-index refactor depends on
+# core/index/cluster staying free of transport imports (and index/cluster
+# free of upward imports). The full suite runs these too, but a fast,
+# explicit failure here names the broken boundary instead of burying it.
+go test -run 'TestEngineLayersDoNotImportTransport|TestIndexAndClusterDoNotImportCore' ./internal/core
+
 go test -race -shuffle=on -cover ./...
+
+# Incremental-training smoke (~seconds at quick scale, well under its 30 s
+# budget): retrain-after-churn must keep resolving through the incremental
+# path, not silently fall back to full rebuilds. INCSMOKE=0 skips.
+INCSMOKE="${INCSMOKE:-1}"
+if [ "$INCSMOKE" != "0" ]; then
+    inc_out=$(go run ./cmd/mie-bench -scale quick -experiment none -obs-out "" \
+        -incremental -incremental-out "")
+    echo "$inc_out"
+    if ! echo "$inc_out" | grep -q "mode=incremental"; then
+        echo "check.sh: incremental smoke did not take the incremental train path" >&2
+        exit 1
+    fi
+fi
 
 # Fuzz smoke over the decoders that face untrusted or crash-damaged input:
 # wire frames arriving off the network and WAL bytes read back after a
