@@ -6,11 +6,18 @@
 //	mie-bench [-scale quick|default|paper] [-experiment all|table1|table2|fig2|fig3|fig4|fig5|fig6|table3|attack|ablations]
 //	          [-obs-out BENCH_obs.json] [-persistence [-persistence-out BENCH_persistence.json]]
 //	          [-incremental [-incremental-out BENCH_incremental.json]] [-trace-overhead]
+//	          [-ann [-ann-out BENCH_ann.json]]
 //
 // The default scale runs the whole suite in minutes on a laptop by shrinking
 // workloads ~10x; -scale paper restores the published sizes (expect the
 // Hom-MSSE runs to take a very long time — on the paper's tablet they
 // drained the battery).
+//
+// -ann runs the approximate-dense-search benchmark: a recall@10-vs-speedup
+// sweep of the multi-probe LSH candidate index over (tables, bits, probes)
+// against the exact popcount scan, plus the mAP delta of routing the fused
+// Holidays pipeline through the candidate path (target: >=5x at recall@10
+// >= 0.9, mAP within 2 points).
 //
 // -trace-overhead measures the cost of the request-tracing subsystem: the
 // same TCP search workload untraced and head-sampled at 0%, 1% and 100%,
@@ -47,6 +54,8 @@ func main() {
 	persistOut := flag.String("persistence-out", "BENCH_persistence.json", "write the durability report as JSON to this file")
 	incremental := flag.Bool("incremental", false, "run the incremental-training benchmark: retrain cost after churn vs a full rebuild, with mAP parity")
 	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "write the incremental-training report as JSON to this file")
+	annBench := flag.Bool("ann", false, "run the approximate-dense-search benchmark: multi-probe LSH recall/speedup sweep vs the exact scan, plus fused-pipeline mAP parity")
+	annOut := flag.String("ann-out", "BENCH_ann.json", "write the ANN report as JSON to this file")
 	traceOverhead := flag.Bool("trace-overhead", false, "measure request-tracing overhead at 0%, 1% and 100% sampling vs an untraced baseline")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
@@ -67,6 +76,12 @@ func main() {
 	}
 	if *incremental {
 		if err := runIncremental(*scale, *incrementalOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *annBench {
+		if err := runANN(*scale, *annOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mie-bench:", err)
 			os.Exit(1)
 		}
@@ -186,6 +201,33 @@ func runIncremental(scale, outPath string) error {
 		return fmt.Errorf("write incremental report: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "incremental report written to %s\n", outPath)
+	return nil
+}
+
+// runANN measures the approximate dense-search path — candidate recall and
+// per-query speedup across the (tables, bits, probes) sweep, plus the fused
+// pipeline's mAP delta — prints the report and writes it as JSON.
+func runANN(scale, outPath string) error {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return err
+	}
+	report, err := experiments.ANNExperiment(cfg)
+	if err != nil {
+		return fmt.Errorf("ann: %w", err)
+	}
+	experiments.WriteANNReport(os.Stdout, report)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal ann report: %w", err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write ann report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "ann report written to %s\n", outPath)
 	return nil
 }
 

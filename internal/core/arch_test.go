@@ -27,6 +27,7 @@ func TestEngineLayersDoNotImportTransport(t *testing.T) {
 		"core":    ".",
 		"index":   filepath.Join("..", "index"),
 		"cluster": filepath.Join("..", "cluster"),
+		"ann":     filepath.Join("..", "ann"),
 	}
 	fset := token.NewFileSet()
 	for layer, dir := range layers {
@@ -67,6 +68,7 @@ func TestIndexAndClusterDoNotImportCore(t *testing.T) {
 	forbidden := map[string]map[string]bool{
 		filepath.Join("..", "index"):   {"mie/internal/core": true},
 		filepath.Join("..", "cluster"): {"mie/internal/core": true, "mie/internal/index": true},
+		filepath.Join("..", "ann"):     {"mie/internal/core": true, "mie/internal/index": true},
 	}
 	fset := token.NewFileSet()
 	for dir, banned := range forbidden {

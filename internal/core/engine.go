@@ -3,6 +3,7 @@ package core
 import (
 	"strconv"
 
+	"mie/internal/ann"
 	"mie/internal/cluster"
 	"mie/internal/index"
 	"mie/internal/store"
@@ -82,6 +83,7 @@ func newEngines(opts RepositoryOptions) []ModalityEngine {
 				encs:      func(o *storedObject) []vec.BitVec { return o.imageEncs },
 				queryEncs: func(q *Query) []vec.BitVec { return q.ImageEncodings },
 				params:    opts.Vocab,
+				annOpts:   opts.ANN,
 			})
 		case ModalityAudio:
 			engines = append(engines, &denseEngine{
@@ -90,6 +92,7 @@ func newEngines(opts RepositoryOptions) []ModalityEngine {
 				encs:      func(o *storedObject) []vec.BitVec { return o.audioEncs },
 				queryEncs: func(q *Query) []vec.BitVec { return q.AudioEncodings },
 				params:    opts.Vocab,
+				annOpts:   opts.ANN,
 			})
 		}
 	}
@@ -174,7 +177,9 @@ type denseEngine struct {
 	encs      func(*storedObject) []vec.BitVec
 	queryEncs func(*Query) []vec.BitVec
 	params    cluster.VocabParams
+	annOpts   ANNOptions
 	vocab     *cluster.Vocabulary[vec.BitVec] // nil until trained
+	wordANN   *ann.Index                      // nil unless the codebook crosses MinWords
 }
 
 func (e *denseEngine) Modality() Modality { return e.modality }
@@ -221,6 +226,7 @@ func (e *denseEngine) Train(sample []vec.BitVec) (ModalityEngine, error) {
 	}
 	out := *e
 	out.vocab = vocab
+	out.wordANN = out.buildWordANN()
 	return &out, nil
 }
 
@@ -247,6 +253,7 @@ func (e *denseEngine) Refine(delta []vec.BitVec) (ModalityEngine, cluster.DriftR
 	}
 	out := *e
 	out.vocab = vocab
+	out.wordANN = out.buildWordANN()
 	return &out, res.Drift, true, nil
 }
 
@@ -258,12 +265,61 @@ func (e *denseEngine) histTerms(encs []vec.BitVec) map[index.Term]uint64 {
 	if e.vocab == nil || len(encs) == 0 {
 		return nil
 	}
-	hist := e.vocab.QuantizeAll(encs)
-	terms := make(map[index.Term]uint64, len(hist))
-	for word, freq := range hist {
-		terms[e.term(word)] = freq
+	if e.wordANN == nil {
+		hist := e.vocab.QuantizeAll(encs)
+		terms := make(map[index.Term]uint64, len(hist))
+		for word, freq := range hist {
+			terms[e.term(word)] = freq
+		}
+		return terms
+	}
+	terms := make(map[index.Term]uint64)
+	for _, enc := range encs {
+		terms[e.term(e.quantize(enc))]++
 	}
 	return terms
+}
+
+// buildWordANN indexes the codebook words for approximate quantization, one
+// word per key so candidate slots double as word indexes. Small codebooks
+// (below ANNOptions.MinWords) quantize exactly through the vocabulary's own
+// lookup tree; only corpora large enough for tree descent or scanning to
+// matter pay the approximation.
+func (e *denseEngine) buildWordANN() *ann.Index {
+	if e.vocab == nil || e.annOpts.Disable || e.vocab.Size() < e.annOpts.MinWords {
+		return nil
+	}
+	ix := ann.New(ann.Options{
+		Tables: e.annOpts.Tables,
+		Bits:   e.annOpts.Bits,
+		Probes: e.annOpts.Probes,
+		Seed:   e.annOpts.Seed,
+	})
+	for i, w := range e.vocab.Words() {
+		if err := ix.AddAll(strconv.Itoa(i), []vec.BitVec{w}); err != nil {
+			return nil
+		}
+	}
+	return ix
+}
+
+// quantize maps one encoding to its (approximately) nearest codebook word.
+// With a word ANN the candidates arrive in ascending slot order and the
+// strict < keeps the lowest word on distance ties — the same tie-break the
+// vocabulary's exact scan uses.
+func (e *denseEngine) quantize(enc vec.BitVec) int {
+	if e.wordANN != nil {
+		if cands, _ := e.wordANN.Probe(enc); len(cands) > 0 {
+			best := cands[0]
+			for _, c := range cands[1:] {
+				if c.Dist < best.Dist {
+					best = c
+				}
+			}
+			return best.Slot
+		}
+	}
+	return e.vocab.Quantize(enc)
 }
 
 func (e *denseEngine) ExtractTerms(obj *storedObject) map[index.Term]uint64 {
@@ -304,17 +360,41 @@ func (e *denseEngine) LinearSearch(q *Query, objects store.Store[*storedObject],
 }
 
 // rankMap turns a linear-scan score map into a sorted, depth-truncated
-// result list.
+// result list through the shared bounded-heap selection — O(n log depth)
+// instead of materializing and sorting the whole map.
 func rankMap(scores map[index.DocID]float64, depth int) []index.Result {
-	out := make([]index.Result, 0, len(scores))
-	for d, s := range scores {
-		out = append(out, index.Result{Doc: d, Score: s})
+	return index.TopK(scores, depth)
+}
+
+// annSearch is LinearSearch routed through an ANN candidate index: each query
+// encoding probes for candidates, the per-object minimum distance becomes the
+// same 1 - d/n similarity vote the exact scan computes, and the votes
+// accumulate in query-encoding order. Under an exhaustive probe budget the
+// candidate set covers every live code, so the scores — and the TopK ranking
+// built from them — are bit-identical to LinearSearch.
+func (e *denseEngine) annSearch(q *Query, idx *ann.Index, depth int) ([]index.Result, ann.ProbeStats) {
+	n := idx.CodeBits()
+	if n == 0 {
+		return nil, ann.ProbeStats{}
 	}
-	index.SortResults(out)
-	if len(out) > depth {
-		out = out[:depth]
+	scores := make(map[index.DocID]float64)
+	var total ann.ProbeStats
+	for _, qe := range e.queryEncs(q) {
+		cands, st := idx.Probe(qe)
+		total.Probes += st.Probes
+		total.Candidates += st.Candidates
+		best := make(map[index.DocID]int, len(cands))
+		for _, c := range cands {
+			id := index.DocID(c.Key)
+			if d, ok := best[id]; !ok || c.Dist < d {
+				best[id] = c.Dist
+			}
+		}
+		for id, d := range best {
+			scores[id] += 1 - float64(d)/float64(n)
+		}
 	}
-	return out
+	return index.TopK(scores, depth), total
 }
 
 func (e *denseEngine) SnapshotState() []vec.BitVec {
@@ -338,5 +418,6 @@ func (e *denseEngine) Restore(words []vec.BitVec) (ModalityEngine, error) {
 	}
 	out := *e
 	out.vocab = vocab
+	out.wordANN = out.buildWordANN()
 	return &out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mie/internal/ann"
 	"mie/internal/cluster"
 	"mie/internal/dpe"
 	"mie/internal/fusion"
@@ -52,6 +53,12 @@ type repoMetrics struct {
 	trainIncremental *obs.Counter
 	driftFallbacks   *obs.Counter
 	driftPermille    *obs.Gauge
+
+	// ANN telemetry: bucket probes and candidates scored by approximate
+	// dense searches, and the live code count across the candidate indexes.
+	annProbes     *obs.Counter
+	annCandidates *obs.Counter
+	annCodes      *obs.Gauge
 }
 
 func newRepoMetrics(reg *obs.Registry, id string) *repoMetrics {
@@ -76,6 +83,10 @@ func newRepoMetrics(reg *obs.Registry, id string) *repoMetrics {
 		trainIncremental: reg.Counter(obs.L("repo_train_incremental_total", "repo", id)),
 		driftFallbacks:   reg.Counter(obs.L("repo_train_drift_fallback_total", "repo", id)),
 		driftPermille:    reg.Gauge(obs.L("repo_train_drift_permille", "repo", id)),
+
+		annProbes:     reg.Counter(obs.L("repo_ann_probes_total", "repo", id)),
+		annCandidates: reg.Counter(obs.L("repo_ann_candidates_total", "repo", id)),
+		annCodes:      reg.Gauge(obs.L("repo_ann_codes", "repo", id)),
 	}
 }
 
@@ -114,6 +125,37 @@ type RepositoryOptions struct {
 	StoreShards int
 	// Incremental tunes incremental training and the segmented index.
 	Incremental IncrementalOptions
+	// ANN tunes the approximate dense-search candidate indexes.
+	ANN ANNOptions
+}
+
+// ANNOptions governs the multi-probe LSH candidate indexes that make the
+// dense linear-scan fallback and large-codebook quantization sublinear. One
+// candidate index per dense modality tracks every stored encoding; linear
+// searches route through it once the live code count crosses MinCorpus, and
+// codebook quantization routes through a word index once the vocabulary
+// crosses MinWords. Below the thresholds every path stays exact, so small
+// repositories (and existing tests and golden fixtures) are unaffected.
+type ANNOptions struct {
+	// Disable turns approximate candidate generation off entirely; every
+	// dense search and quantization stays exact.
+	Disable bool
+	// Tables is L, the number of independent hash tables; 0 means 8.
+	Tables int
+	// Bits is K, the sampled bit positions per table; 0 means 16.
+	Bits int
+	// Probes is the per-table bucket-probe budget (capped at 2^Bits, where
+	// probing is exhaustive and ANN rankings match the exact scan
+	// bit-for-bit); 0 means 12.
+	Probes int
+	// MinCorpus is the live encoding count at which dense linear searches
+	// route through the candidate index; 0 means 4096.
+	MinCorpus int
+	// MinWords is the codebook size at which quantization routes through a
+	// word index instead of the vocabulary's exact lookup; 0 means 4096.
+	MinWords int
+	// Seed drives the per-table bit sampling; 0 means 1.
+	Seed int64
 }
 
 // IncrementalOptions governs the incremental train/index pipeline: how large
@@ -167,6 +209,24 @@ func (o *RepositoryOptions) setDefaults() {
 	}
 	if o.Incremental.CompactSegments == 0 {
 		o.Incremental.CompactSegments = index.DefaultCompactSegments
+	}
+	if o.ANN.Tables == 0 {
+		o.ANN.Tables = 8
+	}
+	if o.ANN.Bits == 0 {
+		o.ANN.Bits = 16
+	}
+	if o.ANN.Probes == 0 {
+		o.ANN.Probes = 12
+	}
+	if o.ANN.MinCorpus == 0 {
+		o.ANN.MinCorpus = 4096
+	}
+	if o.ANN.MinWords == 0 {
+		o.ANN.MinWords = 4096
+	}
+	if o.ANN.Seed == 0 {
+		o.ANN.Seed = 1
 	}
 }
 
@@ -257,6 +317,12 @@ type Repository struct {
 
 	// objects is the storage layer: ciphertext + encodings per object id.
 	objects store.Store[*storedObject]
+
+	// ann holds the per-dense-modality candidate indexes (nil when disabled
+	// or no dense modality is enabled). Assigned once at construction and
+	// never replaced; the indexes are internally locked, so searches probe
+	// them lock-free while mutators maintain them under writeMu.
+	ann *annSet
 
 	// state is the current epoch (engines + indexes); swapped by Train.
 	state atomic.Pointer[repoState]
@@ -358,8 +424,111 @@ func NewRepository(id string, opts RepositoryOptions) (*Repository, error) {
 		leak:     newLeakage(),
 		deltaIDs: make(map[string]struct{}),
 	}
-	r.state.Store(&repoState{engines: newEngines(opts)})
+	engines := newEngines(opts)
+	r.state.Store(&repoState{engines: engines})
+	r.ann = newANNSet(engines, opts.ANN)
 	return r, nil
+}
+
+// annSet is one candidate index per engine slot (nil for engines whose
+// linear fallback cannot route through ANN, i.e. sparse modalities).
+type annSet struct {
+	idx []*ann.Index
+}
+
+func newANNSet(engines []ModalityEngine, o ANNOptions) *annSet {
+	if o.Disable {
+		return nil
+	}
+	s := &annSet{idx: make([]*ann.Index, len(engines))}
+	any := false
+	for i, eng := range engines {
+		if _, ok := eng.(annSearcher); ok {
+			s.idx[i] = ann.New(ann.Options{Tables: o.Tables, Bits: o.Bits, Probes: o.Probes, Seed: o.Seed})
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return s
+}
+
+// annSearcher is the optional engine capability searchModality routes dense
+// linear scans through once the candidate index covers enough of the corpus.
+type annSearcher interface {
+	annSearch(q *Query, idx *ann.Index, depth int) ([]index.Result, ann.ProbeStats)
+}
+
+// maintainANN mirrors one object mutation into the candidate indexes: obj's
+// encodings replace the previous set under its id, nil obj is a removal.
+// Callers hold writeMu. An encoding-length mismatch means the corpus is not
+// ANN-indexable; that modality's index disables itself and searches fall
+// back to the exact scan for good.
+func (r *Repository) maintainANN(st *repoState, id string, obj *storedObject) {
+	if r.ann == nil {
+		return
+	}
+	for i, a := range r.ann.idx {
+		if a == nil {
+			continue
+		}
+		if obj == nil {
+			a.Remove(id)
+			continue
+		}
+		if err := a.AddAll(id, st.engines[i].TrainingSample(obj)); err != nil {
+			a.Disable()
+		}
+	}
+	r.updateANNGauge()
+}
+
+// refreshANN compacts the candidate indexes — always after a full Train,
+// and past a tombstone threshold after an incremental one, mirroring the
+// segmented indexes' compaction policy.
+func (r *Repository) refreshANN(force bool) {
+	if r.ann == nil {
+		return
+	}
+	for _, a := range r.ann.idx {
+		if a == nil {
+			continue
+		}
+		if force || a.DeadFraction() >= 0.25 {
+			a.Compact()
+		}
+	}
+	r.updateANNGauge()
+}
+
+// rebuildANN reconstructs the candidate indexes from the store after a
+// snapshot restore, in sorted id order. Construction is seeded, so a rebuilt
+// index probes identically to the one the snapshotted repository held.
+func (r *Repository) rebuildANN() {
+	if r.ann == nil {
+		return
+	}
+	st := r.state.Load()
+	snap := r.objects.Items()
+	ids := make([]string, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r.maintainANN(st, id, snap[id])
+	}
+}
+
+func (r *Repository) updateANNGauge() {
+	var live int
+	for _, a := range r.ann.idx {
+		if a != nil {
+			live += a.Live()
+		}
+	}
+	r.met.annCodes.Set(int64(live))
 }
 
 // ID returns the repository's deterministic identifier (setup leakage).
@@ -460,6 +629,7 @@ func (r *Repository) UpdateContext(ctx context.Context, up *Update) error {
 			return err
 		}
 	}
+	r.maintainANN(st, up.ObjectID, obj)
 	if cl := r.changelog; cl != nil {
 		cl.recs = append(cl.recs, changeRec{epoch: st.epoch, id: up.ObjectID, obj: obj})
 	}
@@ -530,6 +700,7 @@ func (r *Repository) RemoveContext(ctx context.Context, objectID string) error {
 				idx.Remove(doc)
 			}
 		}
+		r.maintainANN(st, objectID, nil)
 		r.deltaIDs[objectID] = struct{}{}
 	}
 	if cl := r.changelog; cl != nil {
@@ -772,6 +943,9 @@ func (r *Repository) TrainContext(ctx context.Context) error {
 			r.met.audioVocabWords.Set(int64(eng.CodebookSize()))
 		}
 	}
+	asp := sp.Child("ann_refresh")
+	r.refreshANN(true)
+	asp.End()
 	r.met.trainFull.Inc()
 	info := &TrainInfo{Epoch: cl.epoch, Mode: "full"}
 	if prev := r.lastTrain.Load(); prev != nil && prev.DriftFallback && prev.Epoch == cl.epoch {
@@ -952,6 +1126,7 @@ func (r *Repository) tryTrainIncremental(ctx context.Context, sp *obs.Span) (han
 			r.met.audioVocabWords.Set(int64(eng.CodebookSize()))
 		}
 	}
+	r.refreshANN(false)
 	r.met.trainIncremental.Inc()
 	r.lastTrain.Store(&TrainInfo{
 		Epoch:     cur.epoch + 1,
@@ -1286,11 +1461,23 @@ func (r *Repository) SearchWithFusionContext(ctx context.Context, q *Query, meth
 }
 
 // searchModality runs one modality's lookup for the given epoch: the
-// inverted index when the epoch is trained and the engine has its codebook,
-// else the engine's linear ranked scan over the store.
+// inverted index when the epoch is trained and the engine has its codebook;
+// before training, a dense scan routes through the ANN candidate index once
+// the live code count crosses ANNOptions.MinCorpus, and falls back to the
+// engine's exact linear scan below it (or when the index disabled itself).
 func (r *Repository) searchModality(st *repoState, i int, eng ModalityEngine, q *Query, depth int) []index.Result {
 	if st.trained && st.indexes[i] != nil && eng.Ready() {
 		return st.indexes[i].Search(eng.QueryTerms(q), depth)
+	}
+	if r.ann != nil && i < len(r.ann.idx) {
+		if a := r.ann.idx[i]; a != nil && a.Live() >= r.opts.ANN.MinCorpus {
+			if as, ok := eng.(annSearcher); ok {
+				res, stats := as.annSearch(q, a, depth)
+				r.met.annProbes.Add(int64(stats.Probes))
+				r.met.annCandidates.Add(int64(stats.Candidates))
+				return res
+			}
+		}
 	}
 	return eng.LinearSearch(q, r.objects, depth)
 }

@@ -150,6 +150,12 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 		})
 	}
 	r.met.objects.Set(int64(r.objects.Len()))
+	// The ANN candidate indexes are derived state: rebuild them from the
+	// stored encodings in sorted id order. Construction is seeded, so the
+	// rebuilt indexes are deterministic across restores.
+	_, asp := obs.StartSpan(context.Background(), r.met.reg, "repo/ann_build")
+	r.rebuildANN()
+	asp.End()
 	if !snap.Trained {
 		return r, nil
 	}

@@ -48,6 +48,11 @@ type Config struct {
 	PaillierBits int
 	// K is the top-k of search experiments (paper: 20).
 	K int
+	// ANNCorpus and ANNQueries size the approximate-dense-search sweep
+	// (mie-bench -ann): how many synthetic codes the candidate index holds
+	// and how many queries score each (tables, bits, probes) point.
+	ANNCorpus  int
+	ANNQueries int
 	// Seed drives all dataset generation.
 	Seed int64
 }
@@ -69,6 +74,8 @@ func Default() Config {
 		TreeHeight:      3,
 		PaillierBits:    512,
 		K:               10,
+		ANNCorpus:       10000,
+		ANNQueries:      200,
 		Seed:            1,
 	}
 }
@@ -90,6 +97,8 @@ func PaperScale() Config {
 		TreeHeight:      3,
 		PaillierBits:    1024,
 		K:               20,
+		ANNCorpus:       100000,
+		ANNQueries:      500,
 		Seed:            1,
 	}
 }
@@ -104,6 +113,8 @@ func PaperSample() Config {
 	cfg.SearchRepoSize = 100
 	cfg.MultiUserSize = 100
 	cfg.HolidayGroups = 50
+	cfg.ANNCorpus = 10000
+	cfg.ANNQueries = 200
 	return cfg
 }
 
@@ -123,6 +134,8 @@ func Quick() Config {
 		TreeHeight:      2,
 		PaillierBits:    512,
 		K:               5,
+		ANNCorpus:       2000,
+		ANNQueries:      50,
 		Seed:            1,
 	}
 }

@@ -302,7 +302,7 @@ func (ix *Inverted) Search(query map[Term]uint64, k int) []Result {
 			scores[doc] += float64(qf) * w
 		}
 	}
-	return topK(scores, k)
+	return TopK(scores, k)
 }
 
 // Merge compacts the spill log: postings of removed documents are dropped
@@ -346,9 +346,12 @@ func (ix *Inverted) Merge() error {
 	return nil
 }
 
-// topK selects the k highest-scoring documents using a min-heap, breaking
-// score ties by DocID for determinism.
-func topK(scores map[DocID]float64, k int) []Result {
+// TopK selects the k highest-scoring documents from a score map using a
+// bounded min-heap (O(n log k), no full materialize-and-sort), breaking score
+// ties by DocID for determinism. Non-positive scores are dropped. Exported so
+// every ranked-scan path — index lookups, the engines' linear fallbacks, the
+// ANN re-rank — truncates through the same selection with the same tie-break.
+func TopK(scores map[DocID]float64, k int) []Result {
 	h := &resultHeap{}
 	heap.Init(h)
 	for doc, s := range scores {

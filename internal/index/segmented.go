@@ -363,7 +363,7 @@ func (s *Segmented) Lookup(query map[Term]uint64, k int) []Result {
 			scores[p.doc] += float64(qf) * w
 		}
 	}
-	return topK(scores, k)
+	return TopK(scores, k)
 }
 
 // Search is Lookup under the name the repository layer uses for every index

@@ -257,9 +257,22 @@ func Hamming(a, b BitVec) int {
 	if a.n != b.n {
 		panic(fmt.Sprintf("vec: Hamming length mismatch %d != %d", a.n, b.n))
 	}
+	return HammingWords(a.words, b.words)
+}
+
+// HammingWords returns the number of differing bits between two packed word
+// blocks — the one popcount loop every Hamming-distance path shares. The ANN
+// re-rank stage calls it directly on flat []uint64 code blocks, scoring
+// candidates without materializing BitVec values. Callers must uphold the
+// BitVec invariant that bits beyond the logical length are zero; panics on
+// mismatched word counts.
+func HammingWords(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: HammingWords length mismatch %d != %d", len(a), len(b)))
+	}
 	var c int
-	for i := range a.words {
-		c += bits.OnesCount64(a.words[i] ^ b.words[i])
+	for i := range a {
+		c += bits.OnesCount64(a[i] ^ b[i])
 	}
 	return c
 }

@@ -273,3 +273,52 @@ func TestEqualDifferentLengths(t *testing.T) {
 		t.Error("different lengths reported equal")
 	}
 }
+
+func TestHammingWords(t *testing.T) {
+	a := []uint64{0xFFFF, 0, 1}
+	b := []uint64{0x0FFF, 0, 0}
+	if got := HammingWords(a, b); got != 5 {
+		t.Errorf("HammingWords = %d, want 5", got)
+	}
+	if got := HammingWords(nil, nil); got != 0 {
+		t.Errorf("HammingWords(nil, nil) = %d, want 0", got)
+	}
+	if got := HammingWords(a, a); got != 0 {
+		t.Errorf("HammingWords(a, a) = %d, want 0", got)
+	}
+}
+
+func TestHammingWordsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched word counts")
+		}
+	}()
+	HammingWords([]uint64{1, 2}, []uint64{1})
+}
+
+// TestHammingWordsTailMasking pins the division of labor around tail bits:
+// BitVecFromWords masks bits beyond the logical length, so HammingWords over
+// Words() of two vectors that differ only in (pre-mask) tail garbage reports
+// zero, and always agrees with Hamming.
+func TestHammingWordsTailMasking(t *testing.T) {
+	// 70 bits -> 2 words; bits 70..63 of the second word are tail garbage
+	// that BitVecFromWords masks away. The live low 6 bits (0x2A) agree.
+	a, err := BitVecFromWords([]uint64{42, 0xFFFFFFFFFFFFFF2A}, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BitVecFromWords([]uint64{42, 0xDEADBEEF0000002A}, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := HammingWords(a.Words(), b.Words()); got != 0 {
+		t.Errorf("tail garbage leaked into distance: %d != 0", got)
+	}
+	b.Set(69, false)
+	b.Set(0, true)
+	want := Hamming(a, b)
+	if got := HammingWords(a.Words(), b.Words()); got != want || want != 2 {
+		t.Errorf("HammingWords = %d, Hamming = %d, want 2", got, want)
+	}
+}

@@ -27,10 +27,6 @@
 // aborts the in-flight request on both ends. Training can also run as an
 // asynchronous server-side job via TrainAsync — the mobile client may
 // disconnect while the cloud trains.
-//
-// The context-free OpenLocal/OpenRemote entry points and the
-// LegacyRepository interface they return are kept as deprecated shims for
-// pre-v2 callers; they will be removed in a future PR.
 package mie
 
 import (
@@ -217,9 +213,8 @@ type Options struct {
 	Token string
 }
 
-// Open returns a Repository handle for the deployment described by opts.
-// It replaces OpenLocal and OpenRemote: the embedded/remote split is an
-// Options field, not an API fork.
+// Open returns a Repository handle for the deployment described by opts:
+// the embedded/remote split is an Options field, not an API fork.
 func Open(ctx context.Context, opts Options) (Repository, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -455,111 +450,6 @@ func waitTrained(ctx context.Context, job *TrainJob) error {
 	}
 	if st.State == TrainFailed {
 		return errors.New(st.Err)
-	}
-	return nil
-}
-
-// LegacyRepository is the pre-v2, context-free repository interface, kept so
-// existing callers compile unchanged. New code should use Repository via
-// Open; see the README migration notes.
-//
-// Deprecated: use Repository. The shim will be removed in a future PR; no
-// in-repo code depends on it anymore (the pins in mie_test.go are deliberate).
-type LegacyRepository interface {
-	// Add uploads (or replaces) an object encrypted under dataKey.
-	Add(obj *Object, dataKey DataKey) error
-	// Remove deletes an object by id.
-	Remove(objectID string) error
-	// Train asks the server to run training and build the indexes.
-	Train() error
-	// Search returns the top-k objects most similar to the query object.
-	Search(query *Object, k int) ([]SearchHit, error)
-	// Get fetches one stored ciphertext and its owner id.
-	Get(objectID string) (ciphertext []byte, owner string, err error)
-}
-
-// legacyRepo adapts a context-first Repository to the deprecated interface.
-type legacyRepo struct{ r Repository }
-
-var _ LegacyRepository = legacyRepo{}
-
-func (l legacyRepo) Add(obj *Object, dataKey DataKey) error {
-	return l.r.Add(context.Background(), obj, dataKey)
-}
-func (l legacyRepo) Remove(objectID string) error { return l.r.Remove(context.Background(), objectID) }
-func (l legacyRepo) Train() error                 { return l.r.Train(context.Background()) }
-func (l legacyRepo) Search(query *Object, k int) ([]SearchHit, error) {
-	return l.r.Search(context.Background(), query, k)
-}
-func (l legacyRepo) Get(objectID string) ([]byte, string, error) {
-	return l.r.Get(context.Background(), objectID)
-}
-
-// OpenLocal creates (or silently reuses) a repository on an in-process
-// Service and returns a context-free handle bound to the given client.
-//
-// Deprecated: use Open with Options{Service: svc, Create: true}; it reports
-// reuse via ErrRepositoryExists instead of discarding the options silently.
-// The shim will be removed in a future PR.
-func OpenLocal(svc *Service, c *Client, repoID string, opts RepositoryOptions) (LegacyRepository, error) {
-	r, err := Open(context.Background(), Options{
-		Service: svc,
-		Client:  c,
-		RepoID:  repoID,
-		Create:  true,
-		Repo:    opts,
-	})
-	if errors.Is(err, ErrRepositoryExists) {
-		err = nil // the legacy contract: reuse without telling anyone
-	}
-	if err != nil {
-		return nil, err
-	}
-	return legacyRepo{r}, nil
-}
-
-// RemoteOptions configures OpenRemote.
-//
-// Deprecated: use Options with Open. The shim will be removed in a future PR.
-type RemoteOptions struct {
-	// Create requests repository creation; set it on first open.
-	Create bool
-	// Repo holds engine parameters used when Create is set.
-	Repo RepositoryOptions
-	// Meter, when non-nil, accounts network transfer costs.
-	Meter *Meter
-}
-
-// OpenRemote dials an MIE server and returns a context-free repository
-// handle. Release it with the package-level Close.
-//
-// Deprecated: use Open with Options{Addr: addr}. The shim will be removed in
-// a future PR.
-func OpenRemote(addr string, c *Client, repoID string, opts RemoteOptions) (LegacyRepository, error) {
-	r, err := Open(context.Background(), Options{
-		Addr:   addr,
-		Client: c,
-		RepoID: repoID,
-		Create: opts.Create,
-		Repo:   opts.Repo,
-		Meter:  opts.Meter,
-	})
-	if err != nil {
-		if r != nil {
-			_ = r.Close() // legacy contract: a create conflict is fatal
-		}
-		return nil, err
-	}
-	return legacyRepo{r}, nil
-}
-
-// Close releases a legacy repository handle's connection; local handles
-// ignore it.
-//
-// Deprecated: use Repository.Close. The shim will be removed in a future PR.
-func Close(r LegacyRepository) error {
-	if lr, ok := r.(legacyRepo); ok {
-		return lr.r.Close()
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package mie
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -40,11 +42,8 @@ func smallRepoOptions() RepositoryOptions {
 	}}
 }
 
-// TestLocalRepositoryLifecycle and the other OpenLocal/OpenRemote tests
-// below deliberately exercise the deprecated context-free shims: they are
-// the compatibility pins that keep the legacy contract honest until the
-// shims are removed. All other callers have migrated to Open.
-func TestLocalRepositoryLifecycle(t *testing.T) {
+func testClientKey(t *testing.T) *Client {
+	t.Helper()
 	key, err := NewRepositoryKey()
 	if err != nil {
 		t.Fatal(err)
@@ -53,8 +52,20 @@ func TestLocalRepositoryLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return client
+}
+
+func TestLocalRepositoryLifecycle(t *testing.T) {
+	ctx := context.Background()
+	client := testClientKey(t)
 	svc := NewService()
-	repo, err := OpenLocal(svc, client, "r1", smallRepoOptions())
+	repo, err := Open(ctx, Options{
+		Service: svc,
+		Client:  client,
+		RepoID:  "r1",
+		Create:  true,
+		Repo:    smallRepoOptions(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,14 +79,14 @@ func TestLocalRepositoryLifecycle(t *testing.T) {
 		"d3": "chocolate cake recipe dessert baking",
 	}
 	for id, text := range docs {
-		if err := repo.Add(&Object{ID: id, Owner: "u", Text: text, Image: testPhoto(t, int64(len(id)))}, dk); err != nil {
+		if err := repo.Add(ctx, &Object{ID: id, Owner: "u", Text: text, Image: testPhoto(t, int64(len(id)))}, dk); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		t.Fatal(err)
 	}
-	hits, err := repo.Search(&Object{ID: "q", Text: "renewable energy"}, 2)
+	hits, err := repo.Search(ctx, &Object{ID: "q", Text: "renewable energy"}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +98,7 @@ func TestLocalRepositoryLifecycle(t *testing.T) {
 			t.Error("irrelevant doc ranked in top 2")
 		}
 	}
-	ct, owner, err := repo.Get(hits[0].ObjectID)
+	ct, owner, err := repo.Get(ctx, hits[0].ObjectID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,29 +112,23 @@ func TestLocalRepositoryLifecycle(t *testing.T) {
 	if obj.Text != docs[hits[0].ObjectID] {
 		t.Error("decrypted text mismatch")
 	}
-	if err := repo.Remove(hits[0].ObjectID); err != nil {
+	if err := repo.Remove(ctx, hits[0].ObjectID); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := repo.Get(hits[0].ObjectID); err == nil {
+	if _, _, err := repo.Get(ctx, hits[0].ObjectID); err == nil {
 		t.Error("removed object still present")
 	}
 	// Close on a local repository is a no-op.
-	if err := Close(repo); err != nil {
+	if err := repo.Close(); err != nil {
 		t.Errorf("local close: %v", err)
 	}
 }
 
-func TestOpenLocalReusesExistingRepository(t *testing.T) {
-	key, err := NewRepositoryKey()
-	if err != nil {
-		t.Fatal(err)
-	}
-	client, err := NewClient(smallClientConfig(key))
-	if err != nil {
-		t.Fatal(err)
-	}
+func TestOpenReusesExistingRepository(t *testing.T) {
+	ctx := context.Background()
+	client := testClientKey(t)
 	svc := NewService()
-	a, err := OpenLocal(svc, client, "shared", smallRepoOptions())
+	a, err := Open(ctx, Options{Service: svc, Client: client, RepoID: "shared", Create: true, Repo: smallRepoOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,20 +136,30 @@ func TestOpenLocalReusesExistingRepository(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Add(&Object{ID: "x", Text: "hello world content"}, dk); err != nil {
+	if err := a.Add(ctx, &Object{ID: "x", Text: "hello world content"}, dk); err != nil {
 		t.Fatal(err)
 	}
-	// Second open must see the same repository.
-	b, err := OpenLocal(svc, client, "shared", smallRepoOptions())
+	// A second create with identical options reuses the repository without
+	// the conflict sentinel; the handle must see the same data.
+	b, err := Open(ctx, Options{Service: svc, Client: client, RepoID: "shared", Create: true, Repo: smallRepoOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := b.Get("x"); err != nil {
+	if _, _, err := b.Get(ctx, "x"); err != nil {
 		t.Errorf("second handle can't see object: %v", err)
+	}
+	// A non-create open works too.
+	c, err := Open(ctx, Options{Service: svc, Client: client, RepoID: "shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(ctx, "x"); err != nil {
+		t.Errorf("non-create handle can't see object: %v", err)
 	}
 }
 
 func TestRemoteRepositoryOverTCP(t *testing.T) {
+	ctx := context.Background()
 	svc := NewService()
 	srv, err := Serve("127.0.0.1:0", svc)
 	if err != nil {
@@ -155,20 +170,19 @@ func TestRemoteRepositoryOverTCP(t *testing.T) {
 			t.Errorf("server close: %v", err)
 		}
 	})
-	key, err := NewRepositoryKey()
-	if err != nil {
-		t.Fatal(err)
-	}
-	client, err := NewClient(smallClientConfig(key))
-	if err != nil {
-		t.Fatal(err)
-	}
-	repo, err := OpenRemote(srv.Addr(), client, "remote", RemoteOptions{Create: true, Repo: smallRepoOptions()})
+	client := testClientKey(t)
+	repo, err := Open(ctx, Options{
+		Addr:   srv.Addr(),
+		Client: client,
+		RepoID: "remote",
+		Create: true,
+		Repo:   smallRepoOptions(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
-		if err := Close(repo); err != nil {
+		if err := repo.Close(); err != nil {
 			t.Errorf("close: %v", err)
 		}
 	})
@@ -177,55 +191,55 @@ func TestRemoteRepositoryOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, text := range []string{"alpha document one", "beta document two", "gamma note three"} {
-		if err := repo.Add(&Object{ID: string(rune('a' + i)), Owner: "me", Text: text}, dk); err != nil {
+		if err := repo.Add(ctx, &Object{ID: string(rune('a' + i)), Owner: "me", Text: text}, dk); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := repo.Train(); err != nil {
+	if err := repo.Train(ctx); err != nil {
 		t.Fatal(err)
 	}
-	hits, err := repo.Search(&Object{ID: "q", Text: "beta"}, 1)
+	hits, err := repo.Search(ctx, &Object{ID: "q", Text: "beta"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hits) != 1 || hits[0].ObjectID != "b" {
 		t.Errorf("hits = %+v", hits)
 	}
-	if err := repo.Remove("b"); err != nil {
+	if err := repo.Remove(ctx, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := repo.Get("b"); err == nil || !strings.Contains(err.Error(), "unknown object") {
+	if _, _, err := repo.Get(ctx, "b"); err == nil || !strings.Contains(err.Error(), "unknown object") {
 		t.Errorf("get removed: err = %v", err)
 	}
 }
 
 func TestOpenRemoteCreateConflict(t *testing.T) {
+	ctx := context.Background()
 	svc := NewService()
 	srv, err := Serve("127.0.0.1:0", svc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv.Close() })
-	key, err := NewRepositoryKey()
+	client := testClientKey(t)
+	r1, err := Open(ctx, Options{Addr: srv.Addr(), Client: client, RepoID: "dup", Create: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := NewClient(smallClientConfig(key))
+	t.Cleanup(func() { _ = r1.Close() })
+	// A remote create collision reports the sentinel but still hands back a
+	// usable handle.
+	r2, err := Open(ctx, Options{Addr: srv.Addr(), Client: client, RepoID: "dup", Create: true})
+	if !errors.Is(err, ErrRepositoryExists) {
+		t.Errorf("duplicate create err = %v, want ErrRepositoryExists", err)
+	}
+	if r2 != nil {
+		t.Cleanup(func() { _ = r2.Close() })
+	}
+	// Without Create the open succeeds cleanly.
+	r3, err := Open(ctx, Options{Addr: srv.Addr(), Client: client, RepoID: "dup"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := OpenRemote(srv.Addr(), client, "dup", RemoteOptions{Create: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = Close(r1) })
-	if _, err := OpenRemote(srv.Addr(), client, "dup", RemoteOptions{Create: true}); err == nil {
-		t.Error("expected error creating duplicate repository")
-	}
-	// Without Create the open succeeds.
-	r2, err := OpenRemote(srv.Addr(), client, "dup", RemoteOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = Close(r2) })
+	t.Cleanup(func() { _ = r3.Close() })
 }

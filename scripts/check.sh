@@ -51,6 +51,27 @@ if [ "$INCSMOKE" != "0" ]; then
     fi
 fi
 
+# Approximate-dense-search smoke (~seconds at quick scale): the multi-probe
+# LSH candidate path must keep recall@10 >= 0.9 at its best operating point
+# — a recall regression here means probe enumeration or the re-rank sweep
+# broke even though the parity tests (which use exhaustive budgets) still
+# pass. ANNSMOKE=0 skips.
+ANNSMOKE="${ANNSMOKE:-1}"
+if [ "$ANNSMOKE" != "0" ]; then
+    ann_out=$(go run ./cmd/mie-bench -scale quick -experiment none -obs-out "" \
+        -ann -ann-out "")
+    echo "$ann_out"
+    recall=$(echo "$ann_out" | sed -n 's/^ann: best recall@10 \([0-9.]*\).*/\1/p')
+    if [ -z "$recall" ]; then
+        echo "check.sh: ANN smoke produced no summary line" >&2
+        exit 1
+    fi
+    if ! awk -v r="$recall" 'BEGIN { exit !(r >= 0.9) }'; then
+        echo "check.sh: ANN smoke recall@10 $recall below the 0.9 floor" >&2
+        exit 1
+    fi
+fi
+
 # Fuzz smoke over the decoders that face untrusted or crash-damaged input:
 # wire frames arriving off the network and WAL bytes read back after a
 # crash must fail cleanly, never panic. FUZZTIME=0 skips (corpus-only
