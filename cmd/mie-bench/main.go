@@ -6,7 +6,7 @@
 //	mie-bench [-scale quick|default|paper] [-experiment all|table1|table2|fig2|fig3|fig4|fig5|fig6|table3|attack|ablations]
 //	          [-obs-out BENCH_obs.json] [-persistence [-persistence-out BENCH_persistence.json]]
 //	          [-incremental [-incremental-out BENCH_incremental.json]] [-trace-overhead]
-//	          [-ann [-ann-out BENCH_ann.json]]
+//	          [-ann [-ann-out BENCH_ann.json]] [-tenancy [-tenancy-out BENCH_tenancy.json]]
 //
 // The default scale runs the whole suite in minutes on a laptop by shrinking
 // workloads ~10x; -scale paper restores the published sizes (expect the
@@ -18,6 +18,13 @@
 // against the exact popcount scan, plus the mAP delta of routing the fused
 // Holidays pipeline through the candidate path (target: >=5x at recall@10
 // >= 0.9, mAP within 2 points).
+//
+// -tenancy runs the multi-tenancy benchmark: TenancyRepos small
+// repositories hosted on one lazily-activating service whose memory budget
+// covers only a fraction of the fleet, churned through cold activation and
+// LRU eviction (reporting activation latency percentiles, resident
+// accounting vs the budget, and acked-write durability), then a hot-tenant
+// fairness comparison with per-tenant in-flight admission off and on.
 //
 // -trace-overhead measures the cost of the request-tracing subsystem: the
 // same TCP search workload untraced and head-sampled at 0%, 1% and 100%,
@@ -56,6 +63,8 @@ func main() {
 	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "write the incremental-training report as JSON to this file")
 	annBench := flag.Bool("ann", false, "run the approximate-dense-search benchmark: multi-probe LSH recall/speedup sweep vs the exact scan, plus fused-pipeline mAP parity")
 	annOut := flag.String("ann-out", "BENCH_ann.json", "write the ANN report as JSON to this file")
+	tenancy := flag.Bool("tenancy", false, "run the multi-tenancy benchmark: lazy-activation churn over a large repository fleet under a memory budget, plus hot-tenant fairness")
+	tenancyOut := flag.String("tenancy-out", "BENCH_tenancy.json", "write the tenancy report as JSON to this file")
 	traceOverhead := flag.Bool("trace-overhead", false, "measure request-tracing overhead at 0%, 1% and 100% sampling vs an untraced baseline")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
@@ -82,6 +91,12 @@ func main() {
 	}
 	if *annBench {
 		if err := runANN(*scale, *annOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *tenancy {
+		if err := runTenancy(*scale, *tenancyOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mie-bench:", err)
 			os.Exit(1)
 		}
@@ -228,6 +243,40 @@ func runANN(scale, outPath string) error {
 		return fmt.Errorf("write ann report: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "ann report written to %s\n", outPath)
+	return nil
+}
+
+// runTenancy measures the repository-lifecycle subsystem — cold-activation
+// latency and resident accounting while a large lazily-activated fleet
+// churns under a memory budget, acked-write durability through eviction,
+// and light-tenant tail latency with admission control off and on — prints
+// the report and writes it as JSON.
+func runTenancy(scale, outPath string) error {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "mie-tenancy-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	report, err := experiments.TenancyExperiment(cfg, dir)
+	if err != nil {
+		return fmt.Errorf("tenancy: %w", err)
+	}
+	experiments.WriteTenancyReport(os.Stdout, report)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal tenancy report: %w", err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write tenancy report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "tenancy report written to %s\n", outPath)
 	return nil
 }
 

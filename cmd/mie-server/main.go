@@ -5,7 +5,9 @@
 // Usage:
 //
 //	mie-server [-addr :7709] [-data-dir /var/lib/mie] [-snapshot-every 5m]
-//	           [-wal-sync always] [-debug-addr 127.0.0.1:7710] [-log-level info]
+//	           [-wal-sync always] [-lazy] [-memory-budget 4GiB]
+//	           [-quota-objects N] [-quota-bytes N] [-quota-inflight N]
+//	           [-debug-addr 127.0.0.1:7710] [-log-level info]
 //	           [-trace-sample 0.01] [-slow-ms 250]
 //
 // With -data-dir the server is crash-safe: every acknowledged Update/Remove
@@ -16,6 +18,18 @@
 // -wal-sync picks the log's fsync policy: "always" (default — acknowledged
 // writes survive power loss), "interval" (fsync on a timer; a crash may
 // lose the last interval's writes) or "never" (fastest; the OS decides).
+//
+// Multi-tenancy (requires -data-dir): -lazy starts every recovered
+// repository cold — its snapshot and WAL stay on disk until the first
+// request activates it — so a server can catalog far more repositories
+// than fit in memory. -memory-budget (bytes; k/M/G/Ki/Mi/Gi suffixes
+// accepted) caps the approximate resident footprint of active
+// repositories; least-recently-used idle repositories are evicted back to
+// disk when the budget is exceeded. -quota-objects/-quota-bytes bound any
+// single tenant's resident footprint and -quota-inflight its concurrent
+// requests (0 = unlimited); over-quota requests are rejected with a typed
+// wire error carrying a retry-after hint, keyed on the User field of the
+// bearer token (tokenless traffic pools under "anonymous").
 // With -debug-addr it additionally serves the observability endpoint:
 // /metrics (Prometheus text exposition), /metrics.json, /debug/traces
 // (recently kept request traces), /debug/leakage (per-repository leakage
@@ -35,6 +49,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +59,14 @@ import (
 	"mie/internal/server"
 	"mie/internal/wal"
 )
+
+// tenancyFlags carries the multi-tenant lifecycle knobs from flag parsing
+// to run.
+type tenancyFlags struct {
+	lazy         bool
+	memoryBudget string
+	quotas       core.Quotas
+}
 
 func main() {
 	addr := flag.String("addr", ":7709", "listen address")
@@ -53,14 +77,52 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling probability for request traces in [0,1]")
 	slowMS := flag.Int("slow-ms", 250, "keep a trace and log a warning for requests slower than this many milliseconds (0 = disabled)")
+	var ten tenancyFlags
+	flag.BoolVar(&ten.lazy, "lazy", false, "activate repositories on first use instead of at startup (requires -data-dir)")
+	flag.StringVar(&ten.memoryBudget, "memory-budget", "", "approximate resident-memory budget for active repositories, e.g. 512MiB or 4GiB; idle repositories are evicted to disk above it (requires -data-dir; empty = unlimited)")
+	flag.Int64Var(&ten.quotas.MaxObjects, "quota-objects", 0, "per-tenant cap on resident objects (0 = unlimited)")
+	flag.Int64Var(&ten.quotas.MaxBytes, "quota-bytes", 0, "per-tenant cap on approximate resident bytes (0 = unlimited)")
+	flag.IntVar(&ten.quotas.MaxInflight, "quota-inflight", 0, "per-tenant cap on concurrent in-flight requests (0 = unlimited)")
 	flag.Parse()
-	if err := run(*addr, *dataDir, *snapEvery, *walSync, *debugAddr, *logLevel, *traceSample, *slowMS); err != nil {
+	if err := run(*addr, *dataDir, *snapEvery, *walSync, *debugAddr, *logLevel, *traceSample, *slowMS, ten); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logLevel string, traceSample float64, slowMS int) error {
+// parseBytes parses a human byte size: a plain integer, or one with a
+// k/M/G/T (decimal) or Ki/Mi/Gi/Ti (binary) suffix, optionally ending in B.
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimSuffix(t, "B")
+	t = strings.TrimSuffix(t, "b")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "Ki"), strings.HasSuffix(t, "ki"):
+		mult, t = 1<<10, t[:len(t)-2]
+	case strings.HasSuffix(t, "Mi"), strings.HasSuffix(t, "mi"):
+		mult, t = 1<<20, t[:len(t)-2]
+	case strings.HasSuffix(t, "Gi"), strings.HasSuffix(t, "gi"):
+		mult, t = 1<<30, t[:len(t)-2]
+	case strings.HasSuffix(t, "Ti"), strings.HasSuffix(t, "ti"):
+		mult, t = 1<<40, t[:len(t)-2]
+	case strings.HasSuffix(t, "k"), strings.HasSuffix(t, "K"):
+		mult, t = 1e3, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"), strings.HasSuffix(t, "m"):
+		mult, t = 1e6, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"), strings.HasSuffix(t, "g"):
+		mult, t = 1e9, t[:len(t)-1]
+	case strings.HasSuffix(t, "T"):
+		mult, t = 1e12, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return n * mult, nil
+}
+
+func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logLevel string, traceSample float64, slowMS int, ten tenancyFlags) error {
 	level, err := obs.ParseLevel(logLevel)
 	if err != nil {
 		return err
@@ -72,28 +134,42 @@ func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logL
 	tracer.SetSlowThreshold(time.Duration(slowMS) * time.Millisecond)
 	tracer.SetLogger(logger)
 
-	svc := core.NewService()
+	sopts := core.ServiceOptions{
+		Dir:            dataDir,
+		LazyActivation: ten.lazy,
+		Quotas:         ten.quotas,
+	}
+	if ten.memoryBudget != "" {
+		if sopts.MemoryBudget, err = parseBytes(ten.memoryBudget); err != nil {
+			return fmt.Errorf("-memory-budget: %w", err)
+		}
+	}
+	var policy wal.SyncPolicy
 	if dataDir != "" {
-		policy, err := wal.ParseSyncPolicy(walSync)
-		if err != nil {
+		if policy, err = wal.ParseSyncPolicy(walSync); err != nil {
 			return err
 		}
-		loaded, report, err := core.LoadService(core.DurableOptions{Dir: dataDir, Sync: policy}, nil)
-		if loaded == nil {
-			return err // the data directory itself is unusable
-		}
-		if err != nil {
-			// Partial loads keep the healthy repositories; log and serve.
-			logger.Warn("restore incomplete", "err", err)
-		}
-		svc = loaded
+		sopts.Sync = policy
+	}
+	svc, report, err := core.OpenService(sopts)
+	if svc == nil {
+		return err // the data directory (or option set) itself is unusable
+	}
+	if err != nil {
+		// Partial loads keep the healthy repositories; log and serve.
+		logger.Warn("restore incomplete", "err", err)
+	}
+	if dataDir != "" {
 		logger.Info("recovered repositories",
 			"count", report.Repositories,
+			"cold", report.ColdRepositories,
 			"wal_records_replayed", report.ReplayedRecords,
 			"wal_bytes_replayed", report.ReplayedBytes,
 			"torn_bytes_discarded", report.TornBytes,
 			"orphans_removed", report.OrphansRemoved,
 			"wal_sync", policy.String(),
+			"lazy", ten.lazy,
+			"memory_budget", sopts.MemoryBudget,
 			"dir", dataDir)
 	}
 

@@ -28,7 +28,10 @@ func main() {
 func run() error {
 	ctx := context.Background()
 	// The cloud: knows no keys, sees no plaintext.
-	svc := mie.NewService()
+	svc, _, err := mie.OpenService(mie.ServiceOptions{})
+	if err != nil {
+		return err
+	}
 	srv, err := mie.Serve("127.0.0.1:0", svc)
 	if err != nil {
 		return err

@@ -41,9 +41,25 @@ import (
 // outcome is deterministic) — in contrast to transport errors, which are.
 type RemoteError struct {
 	Msg string
+	// Code is the wire.ErrCode* classification (ErrCodeUnspecified on
+	// frames from servers predating typed errors).
+	Code int
+	// RetryAfter, when positive, is the server's hint for when a rejected
+	// request (today: an over-quota one) may be retried.
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string { return e.Msg }
+
+// Unwrap maps the wire code back to the engine sentinel it encodes, so
+// errors.Is(err, core.ErrRepoExists) and friends hold across the network
+// exactly as they do embedded. Unclassified errors unwrap to nothing.
+func (e *RemoteError) Unwrap() error { return wire.Sentinel(e.Code) }
+
+// remoteError builds a RemoteError from a response's error fields.
+func remoteError(msg string, code int, retryAfterNanos int64) *RemoteError {
+	return &RemoteError{Msg: msg, Code: code, RetryAfter: time.Duration(retryAfterNanos)}
+}
 
 // ErrClosed is returned for calls on a Conn after Close.
 var ErrClosed = errors.New("client: connection closed")
@@ -559,7 +575,7 @@ func (c *Conn) roundTrip(ctx context.Context, cat device.Category, kind string, 
 			if env.Kind == wire.KindError {
 				var ack wire.Ack
 				if derr := env.Decode(&ack); derr == nil && ack.Err != "" {
-					return &RemoteError{Msg: ack.Err}
+					return remoteError(ack.Err, ack.Code, ack.RetryAfterNanos)
 				}
 				return &RemoteError{Msg: "server rejected request"}
 			}
@@ -656,7 +672,7 @@ func (c *Conn) Search(ctx context.Context, repoID string, q *core.Query) ([]core
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, &RemoteError{Msg: resp.Err}
+		return nil, remoteError(resp.Err, resp.Code, resp.RetryAfterNanos)
 	}
 	return resp.Hits, nil
 }
@@ -668,21 +684,21 @@ func (c *Conn) Get(ctx context.Context, repoID, objectID string) (ciphertext []b
 		return nil, "", err
 	}
 	if resp.Err != "" {
-		return nil, "", &RemoteError{Msg: resp.Err}
+		return nil, "", remoteError(resp.Err, resp.Code, resp.RetryAfterNanos)
 	}
 	return resp.Ciphertext, resp.Owner, nil
 }
 
 func ackErr(ack wire.Ack) error {
 	if ack.Err != "" {
-		return &RemoteError{Msg: ack.Err}
+		return remoteError(ack.Err, ack.Code, ack.RetryAfterNanos)
 	}
 	return nil
 }
 
 func trainJobResult(resp wire.TrainJobResp) (wire.TrainJobStatus, error) {
 	if resp.Err != "" {
-		return wire.TrainJobStatus{}, &RemoteError{Msg: resp.Err}
+		return wire.TrainJobStatus{}, remoteError(resp.Err, resp.Code, resp.RetryAfterNanos)
 	}
 	return resp.Job, nil
 }

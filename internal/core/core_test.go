@@ -591,7 +591,7 @@ func TestConcurrentMultiUserUpdates(t *testing.T) {
 }
 
 func TestServiceLifecycle(t *testing.T) {
-	s := NewService()
+	s := openMem(t)
 	if _, err := s.CreateRepository("r1", RepositoryOptions{}); err != nil {
 		t.Fatal(err)
 	}

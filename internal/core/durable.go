@@ -32,10 +32,13 @@ type DurableOptions struct {
 	SyncInterval time.Duration
 }
 
-// RecoveryReport summarizes what LoadService reconstructed.
+// RecoveryReport summarizes what OpenService reconstructed.
 type RecoveryReport struct {
 	// Repositories successfully restored (snapshot loaded, WAL replayed).
 	Repositories int
+	// ColdRepositories were discovered on disk but, under LazyActivation,
+	// registered cold rather than loaded; they activate on first touch.
+	ColdRepositories int
 	// ReplayedRecords is the total number of WAL mutations applied on top
 	// of snapshots.
 	ReplayedRecords int
@@ -162,26 +165,83 @@ func (d *durability) removeRepoFiles(id string) error {
 	return nil
 }
 
-// LoadService restores a service from a data directory: every snapshot is
-// loaded and its write-ahead log replayed on top (remove-then-add, the same
-// idempotent discipline as the train-time changelog), then the log stays
-// attached so new mutations keep appending. Files that fail to load are
-// reported together; valid repositories still come up (partial availability
-// beats none after a crash). A fresh or missing directory yields an empty —
-// but durable — service.
+// LoadService restores a service from a data directory.
+//
+// Deprecated: use OpenService(ServiceOptions{Dir: ..., Sync: ...,
+// SyncInterval: ..., Repo: indexOpts}); LoadService remains as a thin
+// wrapper for one release (DESIGN.md §13 deprecation ledger) and will be
+// removed.
 func LoadService(opts DurableOptions, indexOpts *RepositoryOptions) (*Service, *RecoveryReport, error) {
 	if opts.Dir == "" {
 		return nil, nil, errors.New("core: LoadService needs a data directory")
 	}
-	s := NewService()
-	s.durable = newDurability(opts)
-	report := &RecoveryReport{}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("core: create data dir: %w", err)
-	}
-	entries, err := os.ReadDir(opts.Dir)
+	return OpenService(ServiceOptions{
+		Dir:          opts.Dir,
+		Sync:         opts.Sync,
+		SyncInterval: opts.SyncInterval,
+		Repo:         indexOpts,
+	})
+}
+
+// walReplay is what replaying one repository's log recovered.
+type walReplay struct {
+	Records int
+	Bytes   int64
+	Torn    int64
+}
+
+// loadRepo restores one repository from its on-disk image: snapshot load,
+// WAL replay on top (remove-then-add, the same idempotent discipline as the
+// train-time changelog), then the log stays attached so new mutations keep
+// appending. It is the shared path of eager recovery and cold activation.
+func (d *durability) loadRepo(sp *obs.Span, id string, indexOpts *RepositoryOptions) (*Repository, walReplay, error) {
+	var st walReplay
+	repo, err := loadSnapshotFile(sp, filepath.Join(d.dir, snapshotFileName(id)), indexOpts)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: read data dir: %w", err)
+		return nil, st, err
+	}
+	if repo.ID() != id {
+		_ = repo.Close()
+		return nil, st, fmt.Errorf("core: snapshot %s holds repository %q", snapshotFileName(id), repo.ID())
+	}
+	wsp := sp.Child("wal_replay")
+	l, rec, err := wal.Open(filepath.Join(d.dir, walFileName(id)), d.opts, func(b []byte) error {
+		m, derr := decodeWALRecord(b)
+		if derr != nil {
+			return derr
+		}
+		st.Bytes += int64(len(b))
+		return repo.applyWALRecord(m)
+	})
+	wsp.End()
+	if err != nil {
+		// A log that opens but cannot replay leaves the repository in a
+		// half-recovered state; keep it down and surface the error.
+		_ = repo.Close()
+		return nil, st, fmt.Errorf("%s: %w", walFileName(id), err)
+	}
+	repo.attachWAL(l)
+	walReplayedC.Add(int64(rec.Records))
+	st.Records = rec.Records
+	st.Torn = rec.DroppedBytes
+	return repo, st, nil
+}
+
+// openDir populates a durable service from its data directory: every
+// snapshot is restored — or, under LazyActivation, registered cold — and
+// orphaned logs are pruned. Files that fail to load are reported together;
+// valid repositories still come up (partial availability beats none after a
+// crash). A fresh or missing directory yields an empty — but durable —
+// service.
+func (s *Service) openDir() (*RecoveryReport, error) {
+	d := s.durable
+	report := &RecoveryReport{}
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create data dir: %w", err)
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: read data dir: %w", err)
 	}
 	_, sp := obs.StartSpan(context.Background(), obs.Default(), "service/recovery")
 	defer sp.End()
@@ -193,39 +253,38 @@ func LoadService(opts DurableOptions, indexOpts *RepositoryOptions) (*Service, *
 		}
 		stem := strings.TrimSuffix(e.Name(), ".snap")
 		snapStems[stem] = true
-		repo, err := loadSnapshotFile(sp, filepath.Join(opts.Dir, e.Name()), indexOpts)
+		id, err := repoIDFromStem(stem)
 		if err != nil {
 			loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", e.Name(), err))
 			continue
 		}
-		wsp := sp.Child("wal_replay")
-		var replayedBytes int64
-		l, rec, err := wal.Open(filepath.Join(opts.Dir, stem+".wal"), s.durable.opts, func(b []byte) error {
-			m, derr := decodeWALRecord(b)
-			if derr != nil {
-				return derr
-			}
-			replayedBytes += int64(len(b))
-			return repo.applyWALRecord(m)
-		})
-		wsp.End()
-		if err != nil {
-			// A log that opens but cannot replay leaves the repository in a
-			// half-recovered state; keep it down and surface the error.
-			_ = repo.Close()
-			loadErrs = append(loadErrs, fmt.Sprintf("%s.wal: %v", stem, err))
+		if s.lazy {
+			// Discover, don't load: the entry starts cold and activates on
+			// first Acquire.
+			s.mu.Lock()
+			s.entries[id] = &repoEntry{id: id}
+			s.repoGauge.Set(int64(len(s.entries)))
+			s.mu.Unlock()
+			report.ColdRepositories++
 			continue
 		}
-		repo.attachWAL(l)
-		walReplayedC.Add(int64(rec.Records))
+		repo, rec, err := d.loadRepo(sp, id, s.repoOpts)
+		if err != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", e.Name(), err))
+			continue
+		}
+		repo.setGovernor(s.gov)
+		s.gov.addRepo(repo)
 		report.Repositories++
 		report.ReplayedRecords += rec.Records
-		report.ReplayedBytes += replayedBytes
-		report.TornBytes += rec.DroppedBytes
+		report.ReplayedBytes += rec.Bytes
+		report.TornBytes += rec.Torn
+		entry := &repoEntry{id: id, repo: repo, lastUsed: s.clock.Add(1)}
 		s.mu.Lock()
-		s.repos[repo.ID()] = repo
-		s.repoGauge.Set(int64(len(s.repos)))
+		s.entries[id] = entry
+		s.repoGauge.Set(int64(len(s.entries)))
 		s.mu.Unlock()
+		s.markActive(entry)
 	}
 	// A .wal with no snapshot is dead: either a creation that crashed before
 	// its initial snapshot (never acknowledged) or a drop that crashed
@@ -234,14 +293,14 @@ func LoadService(opts DurableOptions, indexOpts *RepositoryOptions) (*Service, *
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wal") || snapStems[strings.TrimSuffix(e.Name(), ".wal")] {
 			continue
 		}
-		if err := os.Remove(filepath.Join(opts.Dir, e.Name())); err == nil {
+		if err := os.Remove(filepath.Join(d.dir, e.Name())); err == nil {
 			report.OrphansRemoved++
 		}
 	}
 	if len(loadErrs) > 0 {
-		return s, report, fmt.Errorf("core: %d snapshot(s) failed to load: %s", len(loadErrs), strings.Join(loadErrs, "; "))
+		return report, fmt.Errorf("core: %d snapshot(s) failed to load: %s", len(loadErrs), strings.Join(loadErrs, "; "))
 	}
-	return s, report, nil
+	return report, nil
 }
 
 // loadSnapshotFile restores one repository from its snapshot file.
@@ -259,23 +318,28 @@ func loadSnapshotFile(sp *obs.Span, path string, indexOpts *RepositoryOptions) (
 	return repo, err
 }
 
-// SaveService writes every repository hosted by the service into dir, one
-// snapshot file per repository, each replaced atomically and fsynced
-// through to the directory entry, with the repository's WAL rotated empty
-// in the same consistent cut. Snapshot and log files belonging to
-// repositories the service no longer hosts are removed — without that, a
-// repository dropped at runtime would resurrect from its stale snapshot on
-// the next restart.
+// SaveService writes every *active* repository hosted by the service into
+// dir, one snapshot file per repository, each replaced atomically and
+// fsynced through to the directory entry, with the repository's WAL rotated
+// empty in the same consistent cut. Cold repositories need no save — their
+// on-disk snapshot+WAL image is already their only state. Snapshot and log
+// files belonging to repositories the service no longer hosts (cold or
+// active) are removed — without that, a repository dropped at runtime would
+// resurrect from its stale snapshot on the next restart.
 func SaveService(s *Service, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: create snapshot dir: %w", err)
 	}
-	for _, id := range s.Repositories() {
-		repo, err := s.Repository(id)
+	for _, e := range s.activeEntries() {
+		// Pin the repository for the span of its save so eviction (which
+		// would close the WAL mid-rotation) cannot race it.
+		repo, release, err := s.Acquire(e.id)
 		if err != nil {
 			continue // dropped concurrently
 		}
-		if err := repo.saveTo(dir); err != nil {
+		err = repo.saveTo(dir)
+		release()
+		if err != nil {
 			return err
 		}
 	}
@@ -288,8 +352,8 @@ func SaveService(s *Service, dir string) error {
 func pruneOrphanFiles(s *Service, dir string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	keep := make(map[string]bool, 2*len(s.repos))
-	for id := range s.repos {
+	keep := make(map[string]bool, 2*len(s.entries))
+	for id := range s.entries {
 		keep[snapshotFileName(id)] = true
 		keep[walFileName(id)] = true
 	}

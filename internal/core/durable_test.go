@@ -71,7 +71,7 @@ func runCrashScenario(t *testing.T, script walfault.Script, muts []mutation) *cr
 	walFileOpener = func(p string) (wal.File, error) { return out.disk.Open(p) }
 	t.Cleanup(func() { walFileOpener = nil })
 
-	svc, _, err := LoadService(DurableOptions{Dir: out.dir}, nil) // SyncAlways
+	svc, _, err := OpenService(ServiceOptions{Dir: out.dir}) // SyncAlways
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func runCrashScenario(t *testing.T, script walfault.Script, muts []mutation) *cr
 // fault disk — the post-reboot view.
 func recoverService(t *testing.T, out *crashOutcome) (*Service, *RecoveryReport) {
 	t.Helper()
-	svc, report, err := LoadService(DurableOptions{Dir: out.dir}, nil)
+	svc, report, err := OpenService(ServiceOptions{Dir: out.dir})
 	if err != nil {
 		t.Fatalf("recovery must never error on a crashed log: %v", err)
 	}
@@ -284,8 +284,8 @@ func TestCrashUnderSyncNever(t *testing.T) {
 	disk := walfault.NewDisk()
 	walFileOpener = func(p string) (wal.File, error) { return disk.Open(p) }
 	t.Cleanup(func() { walFileOpener = nil })
-	opts := DurableOptions{Dir: dir, Sync: wal.SyncNever}
-	svc, _, err := LoadService(opts, nil)
+	opts := ServiceOptions{Dir: dir, Sync: wal.SyncNever}
+	svc, _, err := OpenService(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestCrashUnderSyncNever(t *testing.T) {
 		}
 	}
 	disk.File(filepath.Join(dir, walFileName("nv"))).Crash()
-	svc2, report, err := LoadService(opts, nil)
+	svc2, report, err := OpenService(opts)
 	if err != nil {
 		t.Fatalf("recovery errored: %v", err)
 	}
@@ -328,7 +328,7 @@ func TestCrashUnderSyncNever(t *testing.T) {
 func TestTrainedSnapshotPlusWALReplay(t *testing.T) {
 	dir := t.TempDir()
 	c := testClient(t)
-	svc, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	svc, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +358,7 @@ func TestTrainedSnapshotPlusWALReplay(t *testing.T) {
 	before := searchIDs(t, c, repo, query, 6)
 
 	// No clean shutdown: reload straight from disk, as after kill -9.
-	svc2, report, err := LoadService(DurableOptions{Dir: dir}, nil)
+	svc2, report, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func TestWALCompensation(t *testing.T) {
 	walFileOpener = func(p string) (wal.File, error) { return disk.Open(p) }
 	t.Cleanup(func() { walFileOpener = nil })
 	c := testClient(t)
-	svc, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	svc, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestWALCompensation(t *testing.T) {
 	}
 
 	disk.File(filepath.Join(dir, walFileName("cp"))).Crash()
-	svc2, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	svc2, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +452,7 @@ func TestWALCompensation(t *testing.T) {
 func TestDropRepositoryDoesNotResurrect(t *testing.T) {
 	t.Run("durable", func(t *testing.T) {
 		dir := t.TempDir()
-		svc, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+		svc, _, err := OpenService(ServiceOptions{Dir: dir})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -467,7 +467,7 @@ func TestDropRepositoryDoesNotResurrect(t *testing.T) {
 		if err := svc.DropRepository("drop"); err != nil {
 			t.Fatal(err)
 		}
-		svc2, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+		svc2, _, err := OpenService(ServiceOptions{Dir: dir})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -477,7 +477,7 @@ func TestDropRepositoryDoesNotResurrect(t *testing.T) {
 	})
 	t.Run("in-memory save prunes orphans", func(t *testing.T) {
 		dir := t.TempDir()
-		svc := NewService()
+		svc := openMem(t)
 		for _, id := range []string{"keep", "drop"} {
 			if _, err := svc.CreateRepository(id, RepositoryOptions{}); err != nil {
 				t.Fatal(err)
@@ -492,7 +492,7 @@ func TestDropRepositoryDoesNotResurrect(t *testing.T) {
 		if err := SaveService(svc, dir); err != nil {
 			t.Fatal(err)
 		}
-		svc2, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+		svc2, _, err := OpenService(ServiceOptions{Dir: dir})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -513,7 +513,7 @@ func TestCrashMidCompaction(t *testing.T) {
 	walFileOpener = func(p string) (wal.File, error) { return disk.Open(p) }
 	t.Cleanup(func() { walFileOpener = nil })
 	c := testClient(t)
-	svc, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	svc, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -570,7 +570,7 @@ func TestCrashMidCompaction(t *testing.T) {
 	disk.File(filepath.Join(dir, walFileName("mc"))).Crash()
 	release()
 
-	svc2, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	svc2, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatalf("recovery errored after mid-compaction crash: %v", err)
 	}
@@ -603,7 +603,7 @@ func TestOrphanWALPruned(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "ghost.wal"), []byte("MIEWAL1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	svc, report, err := LoadService(DurableOptions{Dir: dir}, nil)
+	svc, report, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,7 +94,7 @@ func TestLeakageSummaryCounts(t *testing.T) {
 	}
 
 	// And through the service aggregation used by /debug/leakage.
-	svc := NewService()
+	svc := openMem(t)
 	t.Cleanup(func() { _ = svc.Close() })
 	r2, err := svc.CreateRepository("svc-repo", smallRepoOptions(t.TempDir()))
 	if err != nil {

@@ -315,6 +315,17 @@ type Repository struct {
 	met  *repoMetrics
 	leak *Leakage
 
+	// resident approximates the repository's heap footprint — ciphertexts,
+	// encodings and a per-object indexing overhead — maintained
+	// incrementally by Update/Remove and recomputed at snapshot load. The
+	// service lifecycle manager sums it across active repositories against
+	// the configured MemoryBudget.
+	resident atomic.Int64
+	// gov (nil without quotas; written under writeMu before the repository
+	// serves requests) charges per-tenant footprint to the owner of every
+	// mutation and rejects over-quota updates before they reach the WAL.
+	gov *TenantGovernor
+
 	// objects is the storage layer: ciphertext + encodings per object id.
 	objects store.Store[*storedObject]
 
@@ -531,6 +542,40 @@ func (r *Repository) updateANNGauge() {
 	r.met.annCodes.Set(int64(live))
 }
 
+// setGovernor hands the repository its service's admission governor.
+// Called before the repository serves requests (creation, activation,
+// recovery); mutators read it under writeMu.
+func (r *Repository) setGovernor(g *TenantGovernor) {
+	r.writeMu.Lock()
+	r.gov = g
+	r.writeMu.Unlock()
+}
+
+// repoBaseBytes approximates the fixed overhead of one resident repository:
+// metric handles, engines, empty indexes and store shards.
+const repoBaseBytes = 64 << 10
+
+// ResidentBytes approximates the repository's in-memory footprint. It is
+// deliberately an estimate — good to sizing order, cheap to read — which is
+// all LRU eviction under a memory budget needs.
+func (r *Repository) ResidentBytes() int64 { return repoBaseBytes + r.resident.Load() }
+
+// approxObjectBytes estimates the resident cost of one stored object:
+// ciphertext, text tokens (32-byte tokens plus map and posting overhead),
+// and packed encoding words counted twice — once stored, once mirrored into
+// candidate indexes and postings.
+func approxObjectBytes(obj *storedObject) int64 {
+	n := int64(len(obj.ciphertext)) + 96
+	n += int64(len(obj.textTokens)) * 80
+	for _, v := range obj.imageEncs {
+		n += int64((v.Len()+63)/64)*16 + 48
+	}
+	for _, v := range obj.audioEncs {
+		n += int64((v.Len()+63)/64)*16 + 48
+	}
+	return n
+}
+
 // ID returns the repository's deterministic identifier (setup leakage).
 func (r *Repository) ID() string { return r.id }
 
@@ -592,9 +637,23 @@ func (r *Repository) UpdateContext(ctx context.Context, up *Update) error {
 	}
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
+	newBytes := approxObjectBytes(obj)
+	var prevBytes int64
+	var prevOwner string
+	prevObj, hadPrev := r.objects.Get(up.ObjectID)
+	if hadPrev {
+		prevBytes = approxObjectBytes(prevObj)
+		prevOwner = prevObj.owner
+	}
+	// Admission: the owner's quota is checked-and-charged before the WAL
+	// sees the mutation, so a rejected update leaves no trace anywhere.
+	if err := r.gov.chargeUpdate(up.Owner, newBytes, prevOwner, prevBytes, hadPrev); err != nil {
+		return err
+	}
 	// Write-ahead: the mutation reaches the log before it touches memory,
 	// so success is only ever reported for a replayable write.
 	if err := r.walAppend(sp, &walRecord{ObjectID: up.ObjectID, Update: up}); err != nil {
+		r.gov.undoUpdate(up.Owner, newBytes, prevOwner, prevBytes, hadPrev)
 		return err
 	}
 	st := r.state.Load()
@@ -626,8 +685,14 @@ func (r *Repository) UpdateContext(ctx context.Context, up *Update) error {
 			// memory; log the inverse so replay converges to the same
 			// rolled-back state.
 			r.walCompensate(up.ObjectID, prev, replaced)
+			r.gov.undoUpdate(up.Owner, newBytes, prevOwner, prevBytes, hadPrev)
 			return err
 		}
+	}
+	if replaced {
+		r.resident.Add(newBytes - prevBytes)
+	} else {
+		r.resident.Add(newBytes)
 	}
 	r.maintainANN(st, up.ObjectID, obj)
 	if cl := r.changelog; cl != nil {
@@ -693,7 +758,7 @@ func (r *Repository) RemoveContext(ctx context.Context, objectID string) error {
 			return err
 		}
 	}
-	if _, existed := r.objects.Delete(objectID); existed {
+	if prev, existed := r.objects.Delete(objectID); existed {
 		doc := index.DocID(objectID)
 		for _, idx := range st.indexes {
 			if idx != nil {
@@ -702,6 +767,9 @@ func (r *Repository) RemoveContext(ctx context.Context, objectID string) error {
 		}
 		r.maintainANN(st, objectID, nil)
 		r.deltaIDs[objectID] = struct{}{}
+		bytes := approxObjectBytes(prev)
+		r.resident.Add(-bytes)
+		r.gov.creditRemove(prev.owner, bytes)
 	}
 	if cl := r.changelog; cl != nil {
 		cl.recs = append(cl.recs, changeRec{epoch: st.epoch, remove: true, id: objectID})

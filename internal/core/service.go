@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mie/internal/obs"
 )
@@ -19,21 +20,78 @@ var (
 // Service is the MIE server component "as a service": it hosts many
 // independent repositories, each shared by its own set of authorized users
 // (Figure 1). It is the object cmd/mie-server exposes over the network.
+//
+// A service knows every repository in its catalog but need not hold them
+// all in memory: on a durable service opened with LazyActivation,
+// repositories start cold (snapshot + WAL on disk only), are activated on
+// first Acquire, and are evicted back to cold — least recently used first —
+// whenever the resident footprint exceeds MemoryBudget. Construction goes
+// through OpenService.
 type Service struct {
-	mu        sync.RWMutex
-	repos     map[string]*Repository
-	repoGauge *obs.Gauge
+	// mu guards the entry catalog.
+	mu      sync.RWMutex
+	entries map[string]*repoEntry
+
 	// durable (nil for in-memory services) is the snapshot+WAL persistence
-	// configuration installed by LoadService.
+	// configuration.
 	durable *durability
+	// lazy defers loading discovered repositories until first touch.
+	lazy bool
+	// budget is the resident-bytes cap (0 = unlimited).
+	budget int64
+	// repoOpts overrides load-time engine knobs of restored repositories.
+	repoOpts *RepositoryOptions
+	// gov is the per-tenant admission governor (nil = no quotas).
+	gov *TenantGovernor
+
+	// clock is the logical LRU clock; every Acquire stamps its entry.
+	clock atomic.Uint64
+	// evictMu single-flights eviction passes.
+	evictMu sync.Mutex
+	// activeMu guards active, the resident subset of entries — kept
+	// separately so eviction scans cost O(active), not O(catalog).
+	activeMu sync.Mutex
+	active   map[*repoEntry]struct{}
+
+	activations atomic.Uint64
+	evictions   atomic.Uint64
+
+	repoGauge    *obs.Gauge
+	activeGauge  *obs.Gauge
+	activationsC *obs.Counter
+	evictionsC   *obs.Counter
+	evictErrorsC *obs.Counter
+	activationH  *obs.Histogram
 }
 
-// NewService creates an empty service.
-func NewService() *Service {
+// newServiceShell builds an empty service with its metric handles; the
+// OpenService paths fill in persistence, budget and quotas.
+func newServiceShell() *Service {
+	reg := obs.Default()
 	return &Service{
-		repos:     make(map[string]*Repository),
-		repoGauge: obs.Default().Gauge("service_repositories"),
+		entries:      make(map[string]*repoEntry),
+		active:       make(map[*repoEntry]struct{}),
+		repoGauge:    reg.Gauge("service_repositories"),
+		activeGauge:  reg.Gauge("repo_active"),
+		activationsC: reg.Counter("repo_activations_total"),
+		evictionsC:   reg.Counter("repo_evictions_total"),
+		evictErrorsC: reg.Counter("repo_eviction_errors_total"),
+		activationH:  reg.Histogram("repo_activation_seconds"),
 	}
+}
+
+// NewService creates an empty in-memory service.
+//
+// Deprecated: use OpenService(ServiceOptions{}); NewService remains as a
+// thin wrapper for one release (DESIGN.md §13 deprecation ledger) and will
+// be removed.
+func NewService() *Service {
+	s, _, err := OpenService(ServiceOptions{})
+	if err != nil {
+		// Unreachable: an in-memory open with zero options cannot fail.
+		panic(err)
+	}
+	return s
 }
 
 // CreateRepository initializes a new repository (Algorithm 5's cloud half).
@@ -41,56 +99,87 @@ func NewService() *Service {
 // log is opened and an initial snapshot written before the create is
 // acknowledged, so a crash at any later point can restore it.
 func (s *Service) CreateRepository(id string, opts RepositoryOptions) (*Repository, error) {
+	// Reserve the id first (with the creation latch held), then build the
+	// repository off the catalog lock: a concurrent Acquire of the same id
+	// waits on the latch instead of finding half a repository.
+	e := &repoEntry{id: id, loading: make(chan struct{})}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.repos[id]; ok {
+	if _, ok := s.entries[id]; ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrRepoExists, id)
 	}
+	s.entries[id] = e
+	s.repoGauge.Set(int64(len(s.entries)))
+	s.mu.Unlock()
+
 	r, err := NewRepository(id, opts)
+	if err == nil && s.durable != nil {
+		if derr := s.durable.initRepo(r); derr != nil {
+			_ = r.Close()
+			err = derr
+		}
+	}
+	e.mu.Lock()
+	if err != nil {
+		e.dropped = true
+		ch := e.loading
+		e.loading = nil
+		e.mu.Unlock()
+		close(ch)
+		s.mu.Lock()
+		delete(s.entries, id)
+		s.repoGauge.Set(int64(len(s.entries)))
+		s.mu.Unlock()
+		return nil, err
+	}
+	r.setGovernor(s.gov)
+	e.repo = r
+	e.lastUsed = s.clock.Add(1)
+	ch := e.loading
+	e.loading = nil
+	e.mu.Unlock()
+	close(ch)
+	s.markActive(e)
+	s.maybeEvict(e)
+	return r, nil
+}
+
+// Repository returns the engine for a repository id, activating it first if
+// it is cold — without pinning it. Under a memory budget the engine may be
+// evicted at any later point; request-scoped callers should use Acquire,
+// which pins the repository for the span of the request.
+func (s *Service) Repository(id string) (*Repository, error) {
+	r, release, err := s.Acquire(id)
 	if err != nil {
 		return nil, err
 	}
-	if s.durable != nil {
-		if err := s.durable.initRepo(r); err != nil {
-			_ = r.Close()
-			return nil, err
-		}
-	}
-	s.repos[id] = r
-	s.repoGauge.Set(int64(len(s.repos)))
+	release()
 	return r, nil
 }
 
-// Repository returns the engine for a repository id.
-func (s *Service) Repository(id string) (*Repository, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.repos[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrRepoNotFound, id)
-	}
-	return r, nil
-}
-
-// Repositories lists hosted repository ids.
+// Repositories lists hosted repository ids, cold and active alike.
 func (s *Service) Repositories() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.repos))
-	for id := range s.repos {
+	out := make([]string, 0, len(s.entries))
+	for id := range s.entries {
 		out = append(out, id)
 	}
 	return out
 }
 
-// LeakageSummaries returns the per-repository leakage profiles, keyed by
-// repository id — the payload of the server's /debug/leakage endpoint.
+// LeakageSummaries returns the per-repository leakage profiles of the
+// *active* repositories, keyed by repository id — the payload of the
+// server's /debug/leakage endpoint. Cold repositories have no in-memory
+// leakage state to report.
 func (s *Service) LeakageSummaries() map[string]LeakageSummary {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]LeakageSummary, len(s.repos))
-	for id, r := range s.repos {
-		out[id] = r.leak.Summary()
+	out := make(map[string]LeakageSummary)
+	for _, e := range s.activeEntries() {
+		e.mu.Lock()
+		if e.repo != nil {
+			out[e.id] = e.repo.leak.Summary()
+		}
+		e.mu.Unlock()
 	}
 	return out
 }
@@ -101,14 +190,34 @@ func (s *Service) LeakageSummaries() map[string]LeakageSummary {
 // the next load), never a snapshot that would resurrect the repository.
 func (s *Service) DropRepository(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.repos[id]
+	e, ok := s.entries[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrRepoNotFound, id)
 	}
-	delete(s.repos, id)
-	s.repoGauge.Set(int64(len(s.repos)))
-	err := r.Close()
+	delete(s.entries, id)
+	s.repoGauge.Set(int64(len(s.entries)))
+	s.mu.Unlock()
+
+	// Wait out any in-flight activation, then tear down whatever is
+	// resident. The dropped mark makes a racing Acquire fail instead of
+	// resurrecting the repository from its (about to be deleted) files.
+	e.mu.Lock()
+	for e.loading != nil {
+		ch := e.loading
+		e.mu.Unlock()
+		<-ch
+		e.mu.Lock()
+	}
+	e.dropped = true
+	var err error
+	if e.repo != nil {
+		s.gov.removeRepo(e.repo)
+		err = e.repo.Close()
+		e.repo = nil
+	}
+	e.mu.Unlock()
+	s.markInactive(e)
 	if s.durable != nil {
 		if derr := s.durable.removeRepoFiles(id); derr != nil && err == nil {
 			err = derr
@@ -120,14 +229,28 @@ func (s *Service) DropRepository(id string) error {
 // Close releases every hosted repository.
 func (s *Service) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var firstErr error
-	for id, r := range s.repos {
-		if err := r.Close(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("close %s: %w", id, err)
-		}
-	}
-	s.repos = make(map[string]*Repository)
+	entries := s.entries
+	s.entries = make(map[string]*repoEntry)
 	s.repoGauge.Set(0)
+	s.mu.Unlock()
+	var firstErr error
+	for id, e := range entries {
+		e.mu.Lock()
+		for e.loading != nil {
+			ch := e.loading
+			e.mu.Unlock()
+			<-ch
+			e.mu.Lock()
+		}
+		e.dropped = true
+		if e.repo != nil {
+			if err := e.repo.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("close %s: %w", id, err)
+			}
+			e.repo = nil
+		}
+		e.mu.Unlock()
+		s.markInactive(e)
+	}
 	return firstErr
 }

@@ -140,15 +140,19 @@ func LoadRepository(rd io.Reader, indexOpts *RepositoryOptions) (*Repository, er
 	if err != nil {
 		return nil, err
 	}
+	var resident int64
 	for _, so := range snap.Objects {
-		r.objects.Put(so.ID, &storedObject{
+		obj := &storedObject{
 			owner:      so.Owner,
 			ciphertext: so.Ciphertext,
 			textTokens: so.TextTokens,
 			imageEncs:  so.ImageEncs,
 			audioEncs:  so.AudioEncs,
-		})
+		}
+		r.objects.Put(so.ID, obj)
+		resident += approxObjectBytes(obj)
 	}
+	r.resident.Store(resident)
 	r.met.objects.Set(int64(r.objects.Len()))
 	// The ANN candidate indexes are derived state: rebuild them from the
 	// stored encodings in sorted id order. Construction is seeded, so the

@@ -144,7 +144,7 @@ func TestLoadRepositoryRejectsTruncated(t *testing.T) {
 
 func TestSaveLoadService(t *testing.T) {
 	dir := t.TempDir()
-	svc := NewService()
+	svc := openMem(t)
 	c := testClient(t)
 	for _, id := range []string{"alpha", "beta/with:odd chars"} {
 		repo, err := svc.CreateRepository(id, smallRepoOptions(t.TempDir()))
@@ -163,7 +163,7 @@ func TestSaveLoadService(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	loaded, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestSaveLoadService(t *testing.T) {
 
 func TestSaveServiceOverwritesAtomically(t *testing.T) {
 	dir := t.TempDir()
-	svc := NewService()
+	svc := openMem(t)
 	c := testClient(t)
 	repo, err := svc.CreateRepository("r", smallRepoOptions(t.TempDir()))
 	if err != nil {
@@ -207,7 +207,7 @@ func TestSaveServiceOverwritesAtomically(t *testing.T) {
 	if err := SaveService(svc, dir); err != nil {
 		t.Fatal(err)
 	}
-	loaded, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	loaded, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestSaveServiceOverwritesAtomically(t *testing.T) {
 
 func TestLoadServicePartialFailure(t *testing.T) {
 	dir := t.TempDir()
-	svc := NewService()
+	svc := openMem(t)
 	c := testClient(t)
 	repo, err := svc.CreateRepository("good", smallRepoOptions(t.TempDir()))
 	if err != nil {
@@ -252,7 +252,7 @@ func TestLoadServicePartialFailure(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "corrupt.snap"), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	loaded, _, err := LoadService(DurableOptions{Dir: dir}, nil)
+	loaded, _, err := OpenService(ServiceOptions{Dir: dir})
 	if err == nil {
 		t.Error("expected an aggregate error for the corrupt snapshot")
 	}
@@ -262,7 +262,7 @@ func TestLoadServicePartialFailure(t *testing.T) {
 }
 
 func TestLoadServiceFreshDirectory(t *testing.T) {
-	svc, report, err := LoadService(DurableOptions{Dir: filepath.Join(t.TempDir(), "does-not-exist")}, nil)
+	svc, report, err := OpenService(ServiceOptions{Dir: filepath.Join(t.TempDir(), "does-not-exist")})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,6 +53,9 @@ type Config struct {
 	// and how many queries score each (tables, bits, probes) point.
 	ANNCorpus  int
 	ANNQueries int
+	// TenancyRepos is how many repositories the multi-tenancy benchmark
+	// (mie-bench -tenancy) hosts on one lazily-activating service.
+	TenancyRepos int
 	// Seed drives all dataset generation.
 	Seed int64
 }
@@ -76,6 +79,7 @@ func Default() Config {
 		K:               10,
 		ANNCorpus:       10000,
 		ANNQueries:      200,
+		TenancyRepos:    10000,
 		Seed:            1,
 	}
 }
@@ -99,6 +103,7 @@ func PaperScale() Config {
 		K:               20,
 		ANNCorpus:       100000,
 		ANNQueries:      500,
+		TenancyRepos:    100000,
 		Seed:            1,
 	}
 }
@@ -115,6 +120,7 @@ func PaperSample() Config {
 	cfg.HolidayGroups = 50
 	cfg.ANNCorpus = 10000
 	cfg.ANNQueries = 200
+	cfg.TenancyRepos = 10000
 	return cfg
 }
 
@@ -136,6 +142,7 @@ func Quick() Config {
 		K:               5,
 		ANNCorpus:       2000,
 		ANNQueries:      50,
+		TenancyRepos:    500,
 		Seed:            1,
 	}
 }

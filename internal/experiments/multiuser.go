@@ -32,7 +32,10 @@ type MultiUserRow struct {
 // would serialize on shared counter state (MSSE) or need key distribution
 // round trips (both), which is exactly the point the figure makes.
 func MultiUserExperiment(cfg Config) ([]MultiUserRow, error) {
-	svc := core.NewService()
+	svc, _, err := core.OpenService(core.ServiceOptions{})
+	if err != nil {
+		return nil, err
+	}
 	srv, err := server.New("127.0.0.1:0", svc, nil)
 	if err != nil {
 		return nil, err

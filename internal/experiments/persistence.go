@@ -69,7 +69,7 @@ func PersistenceExperiment(cfg Config, dir string) (*PersistenceReport, error) {
 	var alwaysSvc *core.Service
 	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNever} {
 		sub := filepath.Join(dir, "wal-"+policy.String())
-		svc, _, err := core.LoadService(core.DurableOptions{Dir: sub, Sync: policy}, nil)
+		svc, _, err := core.OpenService(core.ServiceOptions{Dir: sub, Sync: policy})
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +128,7 @@ func PersistenceExperiment(cfg Config, dir string) (*PersistenceReport, error) {
 		return nil, err
 	}
 	t0 = time.Now()
-	svc, rec, err := core.LoadService(core.DurableOptions{Dir: alwaysDir}, nil)
+	svc, rec, err := core.OpenService(core.ServiceOptions{Dir: alwaysDir})
 	if err != nil {
 		return nil, err
 	}

@@ -59,7 +59,10 @@ func TraceOverheadExperiment(cfg Config, clients, perClient int) (*TraceOverhead
 	tracer := obs.NewTracer(reg, 1024)
 	tracer.SetSlowThreshold(0) // isolate head sampling; no tail capture
 
-	svc := core.NewService()
+	svc, _, err := core.OpenService(core.ServiceOptions{})
+	if err != nil {
+		return nil, err
+	}
 	srv, err := server.New("127.0.0.1:0", svc, nil, server.WithTracer(tracer))
 	if err != nil {
 		return nil, err

@@ -68,7 +68,10 @@ func WireConcurrencyExperiment(cfg Config, levels []int) (*WireReport, error) {
 	const perClient = 25
 	ctx := context.Background()
 
-	svc := core.NewService()
+	svc, _, err := core.OpenService(core.ServiceOptions{})
+	if err != nil {
+		return nil, err
+	}
 	srv, err := server.New("127.0.0.1:0", svc, nil)
 	if err != nil {
 		return nil, err

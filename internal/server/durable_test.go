@@ -18,7 +18,7 @@ func TestServerRestartRecoversRepositories(t *testing.T) {
 	dir := t.TempDir()
 	cc := newCoreClient(t, nil)
 
-	svc, _, err := core.LoadService(core.DurableOptions{Dir: dir}, nil)
+	svc, _, err := core.OpenService(core.ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestServerRestartRecoversRepositories(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	svc2, report, err := core.LoadService(core.DurableOptions{Dir: dir}, nil)
+	svc2, report, err := core.OpenService(core.ServiceOptions{Dir: dir})
 	if err != nil {
 		t.Fatalf("recovery errored: %v", err)
 	}

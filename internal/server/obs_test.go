@@ -37,7 +37,7 @@ func metricValue(body, name string) float64 {
 func TestAuthorizerDeniesEveryKind(t *testing.T) {
 	reg := obs.NewRegistry()
 	deny := func(repoID, token string) error { return errors.New("denied: no token") }
-	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithAuthorizer(deny), WithObservability(reg))
+	srv, err := New("127.0.0.1:0", memSvc(t), nil, WithAuthorizer(deny), WithObservability(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestAuthorizerDeniesEveryKind(t *testing.T) {
 
 func TestUnknownKindErrorResponseBody(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithObservability(reg))
+	srv, err := New("127.0.0.1:0", memSvc(t), nil, WithObservability(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestUnknownKindErrorResponseBody(t *testing.T) {
 
 func TestMalformedFramesCountedDistinctly(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithObservability(reg))
+	srv, err := New("127.0.0.1:0", memSvc(t), nil, WithObservability(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestAcceptLoopRetriesTransientErrors(t *testing.T) {
 	reg := obs.NewRegistry()
 	fl := &flakyListener{fails: 3, conns: make(chan net.Conn, 1), closed: make(chan struct{})}
 	s := &Server{
-		svc:    core.NewService(),
+		svc:    memSvc(t),
 		logger: obs.Nop(),
 		reg:    reg,
 		conns:  make(map[net.Conn]struct{}),

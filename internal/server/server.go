@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"mie/internal/auth"
 	"mie/internal/core"
 	"mie/internal/obs"
 	"mie/internal/wire"
@@ -429,6 +430,19 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		lg.Debug("request", "id", env.ID, "kind", kind)
 	}
 
+	// Per-tenant admission: repository-scoped requests count against the
+	// caller's in-flight quota before any engine work runs, so one hot
+	// tenant saturating the server cannot starve the others. The rejection
+	// is a normal typed response (ErrCodeOverQuota + retry-after), not a
+	// dropped connection — the client backs off and retries.
+	if gov := s.svc.Tenants(); gov != nil && repoScoped(kind) {
+		release, aerr := gov.Admit(principal(env.Auth))
+		if aerr != nil {
+			return s.writeKindError(sp, kind, cs, env.ID, aerr)
+		}
+		defer release()
+	}
+
 	switch kind {
 	case wire.KindCreateRepo:
 		var req wire.CreateRepoReq
@@ -457,11 +471,13 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		if err == nil {
 			ectx, esp := sp.ChildContext(ctx, "engine")
 			var repo *core.Repository
-			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+			var done func()
+			if repo, done, err = s.svc.Acquire(req.RepoID); err == nil {
 				var st core.TrainJobStatus
 				if st, err = repo.TrainWait(ectx, repo.TrainStart()); err == nil && st.State == core.TrainFailed {
 					err = errors.New(st.Err)
 				}
+				done()
 			}
 			esp.End()
 		}
@@ -477,8 +493,10 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		if err == nil {
 			sp.Time("engine", func() {
 				var repo *core.Repository
-				if repo, err = s.svc.Repository(req.RepoID); err == nil {
+				var done func()
+				if repo, done, err = s.svc.Acquire(req.RepoID); err == nil {
 					st, err = repo.TrainJob(repo.TrainStart())
+					done()
 				}
 			})
 		}
@@ -494,7 +512,8 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		if err == nil {
 			ectx, esp := sp.ChildContext(ctx, "engine")
 			var repo *core.Repository
-			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+			var done func()
+			if repo, done, err = s.svc.Acquire(req.RepoID); err == nil {
 				if kind == wire.KindTrainStatus {
 					st, err = repo.TrainJob(req.JobID)
 				} else {
@@ -506,6 +525,7 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 						err = nil
 					}
 				}
+				done()
 			}
 			esp.End()
 		}
@@ -523,8 +543,10 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		if err == nil {
 			ectx, esp := sp.ChildContext(ctx, "engine")
 			var repo *core.Repository
-			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+			var done func()
+			if repo, done, err = s.svc.Acquire(req.RepoID); err == nil {
 				err = repo.UpdateContext(ectx, &req.Update)
+				done()
 			}
 			esp.End()
 		}
@@ -542,8 +564,10 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		if err == nil {
 			ectx, esp := sp.ChildContext(ctx, "engine")
 			var repo *core.Repository
-			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+			var done func()
+			if repo, done, err = s.svc.Acquire(req.RepoID); err == nil {
 				err = repo.RemoveContext(ectx, req.ObjectID)
+				done()
 			}
 			esp.End()
 		}
@@ -565,8 +589,10 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		if err == nil {
 			ectx, esp := sp.ChildContext(ctx, "engine")
 			var repo *core.Repository
-			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+			var done func()
+			if repo, done, err = s.svc.Acquire(req.RepoID); err == nil {
 				hits, err = repo.SearchContext(ectx, &req.Query)
+				done()
 			}
 			esp.End()
 			if err == nil && ctx.Err() != nil {
@@ -591,8 +617,10 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 		if err == nil {
 			ectx, esp := sp.ChildContext(ctx, "engine")
 			var repo *core.Repository
-			if repo, err = s.svc.Repository(req.RepoID); err == nil {
+			var done func()
+			if repo, done, err = s.svc.Acquire(req.RepoID); err == nil {
 				ct, owner, err = repo.GetContext(ectx, req.ObjectID)
+				done()
 			}
 			esp.End()
 		}
@@ -668,6 +696,51 @@ func (s *Server) authorized(sp *obs.Span, repoID, token string) error {
 	return err
 }
 
+// repoScoped reports whether a request kind acts on a repository and thus
+// counts against the caller's tenant quotas. Hello/Cancel never reach
+// handle; TraceGet is a diagnostics read outside any repository.
+func repoScoped(kind string) bool {
+	switch kind {
+	case wire.KindCreateRepo, wire.KindTrain, wire.KindTrainStart,
+		wire.KindTrainStatus, wire.KindTrainWait, wire.KindUpdate,
+		wire.KindRemove, wire.KindSearch, wire.KindGet:
+		return true
+	}
+	return false
+}
+
+// principal extracts the tenant identity from a bearer token for quota
+// accounting. The MAC is deliberately not checked here: admission happens
+// before per-repo authorization (which does verify), and an attacker who
+// forges a User only burns that user's quota, never bypasses authorization.
+// Tokenless requests pool under "anonymous".
+func principal(token string) string {
+	if token == "" {
+		return "anonymous"
+	}
+	t, err := auth.Parse(token)
+	if err != nil || t.User == "" {
+		return "anonymous"
+	}
+	return t.User
+}
+
+// writeKindError writes the kind-appropriate error response (admission
+// rejections happen before the request switch, so the reply type must be
+// chosen from the kind alone).
+func (s *Server) writeKindError(sp *obs.Span, kind string, cs *connState, id uint64, err error) error {
+	switch kind {
+	case wire.KindSearch:
+		return s.writeSearchResp(sp, kind, cs, id, nil, err)
+	case wire.KindGet:
+		return s.writeGetResp(sp, kind, cs, id, nil, "", err)
+	case wire.KindTrainStart, wire.KindTrainStatus, wire.KindTrainWait:
+		return s.writeTrainJobResp(sp, kind, cs, id, core.TrainJobStatus{}, err)
+	default:
+		return s.writeAck(sp, kind, cs, id, err)
+	}
+}
+
 // countOpError accounts a failed request (the response still carries the
 // error to the client; this is the server-side tally).
 func (s *Server) countOpError(kind string, err error) {
@@ -686,6 +759,8 @@ func (s *Server) writeAck(sp *obs.Span, kind string, cs *connState, id uint64, e
 	ack := wire.Ack{}
 	if err != nil {
 		ack.Err = err.Error()
+		code, ra := wire.ErrCode(err)
+		ack.Code, ack.RetryAfterNanos = code, ra.Nanoseconds()
 	}
 	n, werr := cs.write(id, wire.KindAck, ack)
 	s.met.txBytes.Add(int64(n))
@@ -700,6 +775,8 @@ func (s *Server) writeSearchResp(sp *obs.Span, kind string, cs *connState, id ui
 	resp := wire.SearchResp{Hits: hits}
 	if err != nil {
 		resp.Err = err.Error()
+		code, ra := wire.ErrCode(err)
+		resp.Code, resp.RetryAfterNanos = code, ra.Nanoseconds()
 	}
 	n, werr := cs.write(id, wire.KindSearchResp, resp)
 	s.met.txBytes.Add(int64(n))
@@ -714,6 +791,8 @@ func (s *Server) writeGetResp(sp *obs.Span, kind string, cs *connState, id uint6
 	resp := wire.GetResp{Ciphertext: ct, Owner: owner}
 	if err != nil {
 		resp.Err = err.Error()
+		code, ra := wire.ErrCode(err)
+		resp.Code, resp.RetryAfterNanos = code, ra.Nanoseconds()
 	}
 	n, werr := cs.write(id, wire.KindGetResp, resp)
 	s.met.txBytes.Add(int64(n))
@@ -733,6 +812,8 @@ func (s *Server) writeTrainJobResp(sp *obs.Span, kind string, cs *connState, id 
 	}}
 	if err != nil {
 		resp.Err = err.Error()
+		code, ra := wire.ErrCode(err)
+		resp.Code, resp.RetryAfterNanos = code, ra.Nanoseconds()
 	}
 	n, werr := cs.write(id, wire.KindTrainJobResp, resp)
 	s.met.txBytes.Add(int64(n))

@@ -62,9 +62,19 @@ func classImage(class int, instance int64) *imaging.Image {
 	return im
 }
 
+// memSvc opens an in-memory service via the unified constructor.
+func memSvc(t testing.TB) *core.Service {
+	t.Helper()
+	svc, _, err := core.OpenService(core.ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
 func startServer(t *testing.T) *Server {
 	t.Helper()
-	srv, err := New("127.0.0.1:0", core.NewService(), nil)
+	srv, err := New("127.0.0.1:0", memSvc(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +104,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New("127.0.0.1:0", nil, nil); err == nil {
 		t.Error("expected error for nil service")
 	}
-	if _, err := New("256.0.0.1:99999", core.NewService(), nil); err == nil {
+	if _, err := New("256.0.0.1:99999", memSvc(t), nil); err == nil {
 		t.Error("expected error for bad address")
 	}
 }
@@ -323,7 +333,7 @@ func TestUnknownKindGetsErrorResponse(t *testing.T) {
 
 func TestCloseIdempotent(t *testing.T) {
 	leakcheck.Check(t)
-	srv, err := New("127.0.0.1:0", core.NewService(), nil)
+	srv, err := New("127.0.0.1:0", memSvc(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +349,7 @@ func TestAuthorizerGatesRequests(t *testing.T) {
 	var masterAuth crypto.Key
 	masterAuth[0] = 42
 	authority := auth.NewAuthority(masterAuth)
-	svc := core.NewService()
+	svc := memSvc(t)
 	srv, err := New("127.0.0.1:0", svc, nil, WithAuthorizer(func(repoID, token string) error {
 		return authority.VerifyString(token, repoID)
 	}))

@@ -23,7 +23,7 @@ func TestTracePropagatesEndToEnd(t *testing.T) {
 	srvTracer := obs.NewTracer(obs.NewRegistry(), 64)
 	cliTracer := obs.NewTracer(obs.NewRegistry(), 64)
 
-	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithTracer(srvTracer))
+	srv, err := New("127.0.0.1:0", memSvc(t), nil, WithTracer(srvTracer))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -318,7 +318,7 @@ func TestCancelMidSearchObservedByServer(t *testing.T) {
 	// and emits a Cancel frame the server observes — asserted via the
 	// server's obs counters.
 	reg := obs.NewRegistry()
-	srv, err := New("127.0.0.1:0", core.NewService(), nil, WithObservability(reg))
+	srv, err := New("127.0.0.1:0", memSvc(t), nil, WithObservability(reg))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mie/internal/auth"
+	"mie/internal/core"
+)
+
+func TestErrCodeClassification(t *testing.T) {
+	cases := []struct {
+		err   error
+		code  int
+		retry time.Duration
+	}{
+		{nil, ErrCodeUnspecified, 0},
+		{errors.New("opaque"), ErrCodeUnspecified, 0},
+		{core.ErrRepoExists, ErrCodeExists, 0},
+		{fmt.Errorf("wrapped: %w", core.ErrRepoExists), ErrCodeExists, 0},
+		{core.ErrRepoNotFound, ErrCodeRepoNotFound, 0},
+		{core.ErrOverQuota, ErrCodeOverQuota, 0},
+		{&core.QuotaError{Tenant: "t", Resource: "inflight", RetryAfter: 50 * time.Millisecond}, ErrCodeOverQuota, 50 * time.Millisecond},
+		{auth.ErrBadMAC, ErrCodeUnauthorized, 0},
+		{auth.ErrExpired, ErrCodeUnauthorized, 0},
+		{core.ErrUnknownObject, ErrCodeUnknownObject, 0},
+		{core.ErrUnknownJob, ErrCodeUnknownJob, 0},
+	}
+	for _, c := range cases {
+		code, retry := ErrCode(c.err)
+		if code != c.code || retry != c.retry {
+			t.Errorf("ErrCode(%v) = (%d, %v), want (%d, %v)", c.err, code, retry, c.code, c.retry)
+		}
+	}
+}
+
+func TestSentinelRoundTrip(t *testing.T) {
+	// Every sentinel-backed code maps back to an error the original matches
+	// with errors.Is, so client-side unwrapping mirrors server-side intent.
+	for _, err := range []error{
+		core.ErrRepoExists,
+		core.ErrRepoNotFound,
+		core.ErrOverQuota,
+		core.ErrUnknownObject,
+		core.ErrUnknownJob,
+	} {
+		code, _ := ErrCode(err)
+		if s := Sentinel(code); !errors.Is(err, s) {
+			t.Errorf("Sentinel(%d) = %v does not match source %v", code, s, err)
+		}
+	}
+	if Sentinel(ErrCodeUnspecified) != nil {
+		t.Error("Sentinel(Unspecified) should be nil")
+	}
+	if Sentinel(999) != nil {
+		t.Error("Sentinel of unknown code should be nil")
+	}
+}
+
+// TestAckCodeGobTolerance proves the v1 interop story: a response encoded by
+// a peer that predates error codes (no Code/RetryAfterNanos fields) decodes
+// into the current Ack with the zero code, and vice versa a coded Ack
+// decodes into a legacy struct without error.
+func TestAckCodeGobTolerance(t *testing.T) {
+	type legacyAck struct {
+		Err string
+	}
+	env, err := NewEnvelope(KindAck, "", 1, 0, legacyAck{Err: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack Ack
+	if err := env.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err != "boom" || ack.Code != ErrCodeUnspecified || ack.RetryAfterNanos != 0 {
+		t.Errorf("legacy frame decoded to %+v, want Err=boom with zero code", ack)
+	}
+
+	env2, err := NewEnvelope(KindAck, "", 2, 0, Ack{Err: "quota", Code: ErrCodeOverQuota, RetryAfterNanos: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old legacyAck
+	if err := env2.Decode(&old); err != nil {
+		t.Fatalf("coded frame does not decode into legacy struct: %v", err)
+	}
+	if old.Err != "quota" {
+		t.Errorf("legacy decode of coded frame = %+v", old)
+	}
+}

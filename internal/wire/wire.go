@@ -32,6 +32,7 @@ import (
 	"io"
 	"time"
 
+	"mie/internal/auth"
 	"mie/internal/core"
 )
 
@@ -198,26 +199,106 @@ type (
 	}
 )
 
+// Error codes carried by response frames alongside the human-readable Err
+// string, so clients match on a stable code instead of message text. Gob
+// tolerates missing fields, so a v1 (or older) peer that never sets a code
+// yields ErrCodeUnspecified and everything still interoperates.
+const (
+	// ErrCodeUnspecified is the zero value: an error with no machine-
+	// readable classification (or a frame from a peer predating codes).
+	ErrCodeUnspecified = 0
+	// ErrCodeExists: the repository already exists (core.ErrRepoExists).
+	ErrCodeExists = 1
+	// ErrCodeRepoNotFound: unknown repository (core.ErrRepoNotFound).
+	ErrCodeRepoNotFound = 2
+	// ErrCodeOverQuota: the tenant exceeded an admission quota
+	// (core.ErrOverQuota); the response carries a retry-after hint.
+	ErrCodeOverQuota = 3
+	// ErrCodeUnauthorized: the bearer token was rejected.
+	ErrCodeUnauthorized = 4
+	// ErrCodeUnknownObject: unknown object id (core.ErrUnknownObject).
+	ErrCodeUnknownObject = 5
+	// ErrCodeUnknownJob: unknown training job (core.ErrUnknownJob).
+	ErrCodeUnknownJob = 6
+)
+
+// ErrCode classifies an engine/auth error into its wire code and, for quota
+// rejections, extracts the server's retry-after hint. Servers call it when
+// building any error-carrying response.
+func ErrCode(err error) (code int, retryAfter time.Duration) {
+	switch {
+	case err == nil:
+		return ErrCodeUnspecified, 0
+	case errors.Is(err, core.ErrRepoExists):
+		return ErrCodeExists, 0
+	case errors.Is(err, core.ErrRepoNotFound):
+		return ErrCodeRepoNotFound, 0
+	case errors.Is(err, core.ErrOverQuota):
+		var qe *core.QuotaError
+		if errors.As(err, &qe) {
+			return ErrCodeOverQuota, qe.RetryAfter
+		}
+		return ErrCodeOverQuota, 0
+	case errors.Is(err, auth.ErrMalformed), errors.Is(err, auth.ErrBadMAC),
+		errors.Is(err, auth.ErrExpired), errors.Is(err, auth.ErrWrongRepo),
+		errors.Is(err, auth.ErrRevoked):
+		return ErrCodeUnauthorized, 0
+	case errors.Is(err, core.ErrUnknownObject):
+		return ErrCodeUnknownObject, 0
+	case errors.Is(err, core.ErrUnknownJob):
+		return ErrCodeUnknownJob, 0
+	}
+	return ErrCodeUnspecified, 0
+}
+
+// Sentinel maps a wire error code back to the engine sentinel it encodes
+// (nil for codes without one), so client-side errors unwrap to the same
+// values errors.Is matches against locally.
+func Sentinel(code int) error {
+	switch code {
+	case ErrCodeExists:
+		return core.ErrRepoExists
+	case ErrCodeRepoNotFound:
+		return core.ErrRepoNotFound
+	case ErrCodeOverQuota:
+		return core.ErrOverQuota
+	case ErrCodeUnknownObject:
+		return core.ErrUnknownObject
+	case ErrCodeUnknownJob:
+		return core.ErrUnknownJob
+	}
+	return nil
+}
+
 // Response payloads.
 type (
 	// HelloResp answers a Hello with the version the server selected.
 	HelloResp struct {
 		Version int
 	}
-	// Ack acknowledges a mutation; Err is empty on success.
+	// Ack acknowledges a mutation; Err is empty on success. Code classifies
+	// the error (ErrCode* constants) and RetryAfterNanos, when positive,
+	// hints when a rejected request may be retried — both zero on frames
+	// from peers predating typed errors.
 	Ack struct {
-		Err string
+		Err             string
+		Code            int
+		RetryAfterNanos int64
 	}
 	// SearchResp carries ranked hits.
 	SearchResp struct {
-		Err  string
-		Hits []core.SearchHit
+		Err             string
+		Code            int
+		RetryAfterNanos int64
+		Hits            []core.SearchHit
 	}
 	// GetResp carries one ciphertext and its owner id.
 	GetResp struct {
-		Err        string
-		Ciphertext []byte
-		Owner      string
+		Err             string
+		Code            int
+		RetryAfterNanos int64
+		Ciphertext      []byte
+		Owner           string
 	}
 	// TrainJobStatus mirrors core.TrainJobStatus on the wire.
 	TrainJobStatus struct {
@@ -229,8 +310,10 @@ type (
 	// TrainJobResp answers the train-job kinds; Err reports request-level
 	// failures (unknown repository/job), Job.Err a failed training run.
 	TrainJobResp struct {
-		Err string
-		Job TrainJobStatus
+		Err             string
+		Code            int
+		RetryAfterNanos int64
+		Job             TrainJobStatus
 	}
 	// TraceSpan is one span of a server-side trace on the wire.
 	TraceSpan struct {

@@ -34,7 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
-	"strings"
+	"time"
 
 	"mie/internal/audio"
 	"mie/internal/client"
@@ -64,6 +64,20 @@ type (
 	SearchHit = core.SearchHit
 	// Service hosts repositories in process.
 	Service = core.Service
+	// ServiceOptions configures OpenService: durable directory, sync
+	// policy, lazy activation, memory budget and tenant quotas.
+	ServiceOptions = core.ServiceOptions
+	// RecoveryReport summarizes what OpenService recovered from disk.
+	RecoveryReport = core.RecoveryReport
+	// Quotas bounds one tenant's resident objects/bytes and in-flight
+	// requests; the zero value means unlimited.
+	Quotas = core.Quotas
+	// QuotaError is the typed rejection carrying tenant, resource and a
+	// retry-after hint; it unwraps to ErrOverQuota.
+	QuotaError = core.QuotaError
+	// LifecycleStats is a point-in-time view of repository activation
+	// state (see Service.Lifecycle).
+	LifecycleStats = core.LifecycleStats
 	// DataKey encrypts a single object (fine-grained access control).
 	DataKey = crypto.Key
 	// Meter attributes client cost to the paper's sub-operation categories.
@@ -113,6 +127,28 @@ const (
 // reports the sentinel.
 var ErrRepositoryExists = errors.New("mie: repository already exists")
 
+// ErrOverQuota reports that the server rejected a request because the
+// caller's tenant exceeded an admission quota (objects, bytes or in-flight
+// requests). Both embedded and remote errors match it with errors.Is; use
+// RetryAfter to extract the server's backoff hint.
+var ErrOverQuota = core.ErrOverQuota
+
+// RetryAfter extracts the server's backoff hint from a quota rejection.
+// A zero duration with ok=true means the rejection is not transient: the
+// tenant must free capacity (remove objects) rather than retry. ok=false
+// means err carries no quota rejection at all.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var qe *core.QuotaError
+	if errors.As(err, &qe) {
+		return qe.RetryAfter, true
+	}
+	var re *client.RemoteError
+	if errors.As(err, &re) && errors.Is(re, core.ErrOverQuota) {
+		return re.RetryAfter, true
+	}
+	return 0, false
+}
+
 // NewImage allocates a zero grayscale image of the given dimensions.
 func NewImage(w, h int) (*Image, error) { return imaging.NewImage(w, h) }
 
@@ -129,8 +165,29 @@ func NewDataKey() (DataKey, error) { return crypto.NewRandomKey() }
 // NewClient builds the client-side component for one repository.
 func NewClient(cfg ClientConfig) (*Client, error) { return core.NewClient(cfg) }
 
-// NewService creates an in-process MIE server component.
-func NewService() *Service { return core.NewService() }
+// OpenService opens an in-process MIE server component. The zero
+// ServiceOptions value yields a purely in-memory service (the old
+// NewService behavior); setting Dir makes it durable (snapshot + WAL per
+// repository, the old LoadService behavior), and on a durable service
+// LazyActivation, MemoryBudget and Quotas unlock the multi-tenant
+// lifecycle: repositories start cold, activate on first use, and are
+// evicted back to disk under memory pressure. The report describes what
+// was recovered from Dir (nil for in-memory services).
+func OpenService(opts ServiceOptions) (*Service, *RecoveryReport, error) {
+	return core.OpenService(opts)
+}
+
+// NewService creates an in-process, in-memory MIE server component.
+//
+// Deprecated: use OpenService(ServiceOptions{}); NewService remains as a
+// thin wrapper for existing embedded callers.
+func NewService() *Service {
+	svc, _, err := core.OpenService(core.ServiceOptions{})
+	if err != nil {
+		panic(err) // unreachable: in-memory open cannot fail
+	}
+	return svc
+}
 
 // DecryptObject recovers a plaintext object from a hit's ciphertext using
 // its data key.
@@ -234,28 +291,26 @@ func Open(ctx context.Context, opts Options) (Repository, error) {
 func openLocal(opts Options) (Repository, error) {
 	svc := opts.Service
 	if svc == nil {
-		svc = core.NewService()
+		svc = NewService()
 	}
-	if !opts.Create {
-		repo, err := svc.Repository(opts.RepoID)
-		if err != nil {
-			return nil, err
+	existed := false
+	if opts.Create {
+		if _, err := svc.CreateRepository(opts.RepoID, opts.Repo); err != nil {
+			if !errors.Is(err, core.ErrRepoExists) {
+				return nil, err
+			}
+			existed = true
 		}
-		return &localRepo{client: opts.Client, repo: repo}, nil
 	}
-	repo, err := svc.CreateRepository(opts.RepoID, opts.Repo)
-	if err == nil {
-		return &localRepo{client: opts.Client, repo: repo}, nil
-	}
-	if !errors.Is(err, core.ErrRepoExists) {
+	// The handle holds an activation pin for its lifetime: on a lazy
+	// service the repository cannot be evicted out from under an open
+	// embedded handle. Close releases the pin.
+	repo, release, err := svc.Acquire(opts.RepoID)
+	if err != nil {
 		return nil, err
 	}
-	repo, rerr := svc.Repository(opts.RepoID)
-	if rerr != nil {
-		return nil, rerr
-	}
-	h := &localRepo{client: opts.Client, repo: repo}
-	if !reflect.DeepEqual(repo.Options(), opts.Repo.WithDefaults()) {
+	h := &localRepo{client: opts.Client, repo: repo, release: release}
+	if existed && !reflect.DeepEqual(repo.Options(), opts.Repo.WithDefaults()) {
 		return h, fmt.Errorf("mie: repository %q exists with different options: %w",
 			opts.RepoID, ErrRepositoryExists)
 	}
@@ -273,8 +328,13 @@ func openRemote(ctx context.Context, opts Options) (Repository, error) {
 	r := &remoteRepo{client: opts.Client, conn: conn, repoID: opts.RepoID}
 	if opts.Create {
 		if err := conn.CreateRepository(ctx, opts.RepoID, wire.FromCore(opts.Repo)); err != nil {
-			var re *client.RemoteError
-			if errors.As(err, &re) && strings.Contains(re.Msg, "already exists") {
+			// The server classifies the collision with a typed wire code
+			// (client.RemoteError unwraps to core.ErrRepoExists), so the
+			// match is on the code, never on message text. On this path the
+			// returned handle owns the live connection: callers that accept
+			// the sentinel must Close the handle exactly as on success
+			// (Close is idempotent).
+			if errors.Is(err, core.ErrRepoExists) {
 				return r, fmt.Errorf("mie: repository %q exists on %s: %w",
 					opts.RepoID, opts.Addr, ErrRepositoryExists)
 			}
@@ -287,10 +347,12 @@ func openRemote(ctx context.Context, opts Options) (Repository, error) {
 	return r, nil
 }
 
-// localRepo binds a Client to an in-process core.Repository.
+// localRepo binds a Client to an in-process core.Repository. It holds an
+// activation pin (see core.Service.Acquire) released by Close.
 type localRepo struct {
-	client *Client
-	repo   *core.Repository
+	client  *Client
+	repo    *core.Repository
+	release func()
 }
 
 var _ Repository = (*localRepo)(nil)
@@ -352,7 +414,14 @@ func (l *localRepo) Get(ctx context.Context, objectID string) ([]byte, string, e
 	return l.repo.GetContext(ctx, objectID)
 }
 
-func (l *localRepo) Close() error { return nil }
+// Close releases the handle's activation pin so a lazy service may evict
+// the repository again. Idempotent (the pin release is once-only).
+func (l *localRepo) Close() error {
+	if l.release != nil {
+		l.release()
+	}
+	return nil
+}
 
 // remoteRepo binds a Client to a network connection.
 type remoteRepo struct {
@@ -473,7 +542,11 @@ func SaveService(svc *Service, dir string) error { return core.SaveService(svc, 
 // replayed on top, and the returned service keeps logging new mutations
 // there (fsync on every acknowledged write). A fresh (nonexistent)
 // directory yields an empty durable service.
+//
+// Deprecated: use OpenService(ServiceOptions{Dir: dir}), which also
+// returns the recovery report and unlocks lazy activation, memory budgets
+// and tenant quotas.
 func LoadService(dir string) (*Service, error) {
-	svc, _, err := core.LoadService(core.DurableOptions{Dir: dir}, nil)
+	svc, _, err := core.OpenService(core.ServiceOptions{Dir: dir})
 	return svc, err
 }

@@ -55,10 +55,20 @@ func testClientKey(t *testing.T) *Client {
 	return client
 }
 
+// memService opens an in-memory Service via the unified constructor.
+func memService(t *testing.T) *Service {
+	t.Helper()
+	svc, _, err := OpenService(ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
 func TestLocalRepositoryLifecycle(t *testing.T) {
 	ctx := context.Background()
 	client := testClientKey(t)
-	svc := NewService()
+	svc := memService(t)
 	repo, err := Open(ctx, Options{
 		Service: svc,
 		Client:  client,
@@ -127,7 +137,7 @@ func TestLocalRepositoryLifecycle(t *testing.T) {
 func TestOpenReusesExistingRepository(t *testing.T) {
 	ctx := context.Background()
 	client := testClientKey(t)
-	svc := NewService()
+	svc := memService(t)
 	a, err := Open(ctx, Options{Service: svc, Client: client, RepoID: "shared", Create: true, Repo: smallRepoOptions()})
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +170,7 @@ func TestOpenReusesExistingRepository(t *testing.T) {
 
 func TestRemoteRepositoryOverTCP(t *testing.T) {
 	ctx := context.Background()
-	svc := NewService()
+	svc := memService(t)
 	srv, err := Serve("127.0.0.1:0", svc)
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +225,7 @@ func TestRemoteRepositoryOverTCP(t *testing.T) {
 
 func TestOpenRemoteCreateConflict(t *testing.T) {
 	ctx := context.Background()
-	svc := NewService()
+	svc := memService(t)
 	srv, err := Serve("127.0.0.1:0", svc)
 	if err != nil {
 		t.Fatal(err)

@@ -25,7 +25,7 @@ func newTestClient(t *testing.T) *Client {
 
 func TestOpenLocalCreateConflict(t *testing.T) {
 	ctx := context.Background()
-	svc := NewService()
+	svc := memService(t)
 	c := newTestClient(t)
 	r1, err := Open(ctx, Options{Service: svc, Client: c, RepoID: "r", Create: true, Repo: smallRepoOptions()})
 	if err != nil {
@@ -68,7 +68,7 @@ func TestOpenLocalCreateConflict(t *testing.T) {
 
 func TestOpenRemoteCreateConflictSentinel(t *testing.T) {
 	ctx := context.Background()
-	svc := NewService()
+	svc := memService(t)
 	srv, err := Serve("127.0.0.1:0", svc)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestTrainAsyncLocal(t *testing.T) {
 func TestTrainAsyncRemote(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	svc := NewService()
+	svc := memService(t)
 	srv, err := Serve("127.0.0.1:0", svc)
 	if err != nil {
 		t.Fatal(err)

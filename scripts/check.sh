@@ -72,6 +72,33 @@ if [ "$ANNSMOKE" != "0" ]; then
     fi
 fi
 
+# Multi-tenancy smoke (~seconds at quick scale): 500 repositories churned
+# through lazy activation and LRU eviction under a 16 MiB budget. Every
+# acknowledged write must survive the churn, and the resident accounting
+# must never overshoot the budget by more than 10% (transiently, while the
+# eviction pass catches up). TENANCYSMOKE=0 skips.
+TENANCYSMOKE="${TENANCYSMOKE:-1}"
+if [ "$TENANCYSMOKE" != "0" ]; then
+    ten_out=$(go run ./cmd/mie-bench -scale quick -experiment none -obs-out "" \
+        -tenancy -tenancy-out "")
+    echo "$ten_out"
+    ten_sum=$(echo "$ten_out" | sed -n 's/^tenancy: //p')
+    if [ -z "$ten_sum" ]; then
+        echo "check.sh: tenancy smoke produced no summary line" >&2
+        exit 1
+    fi
+    lost=$(echo "$ten_sum" | sed -n 's/.*lost_acks=\([0-9]*\).*/\1/p')
+    over=$(echo "$ten_sum" | sed -n 's/.*max_over_budget=\([0-9.]*\).*/\1/p')
+    if [ "$lost" != "0" ]; then
+        echo "check.sh: tenancy smoke lost $lost acknowledged writes" >&2
+        exit 1
+    fi
+    if ! awk -v o="$over" 'BEGIN { exit !(o <= 0.10) }'; then
+        echo "check.sh: tenancy smoke overshot the memory budget by $over (> 10%)" >&2
+        exit 1
+    fi
+fi
+
 # Fuzz smoke over the decoders that face untrusted or crash-damaged input:
 # wire frames arriving off the network and WAL bytes read back after a
 # crash must fail cleanly, never panic. FUZZTIME=0 skips (corpus-only

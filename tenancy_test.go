@@ -1,0 +1,152 @@
+package mie
+
+// Tests for the multi-tenant API surface: typed wire error codes surfacing
+// through the public package, the quota sentinel and retry-after accessor,
+// and the connection-ownership contract of the remote-create sentinel path.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mie/internal/core"
+	"mie/internal/leakcheck"
+)
+
+// TestRemoteTypedErrorCodes drives real over-the-wire failures and asserts
+// they match the core sentinels via errors.Is — no message-text matching
+// anywhere.
+func TestRemoteTypedErrorCodes(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	svc, _, err := OpenService(ServiceOptions{Quotas: Quotas{MaxObjects: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	c := newTestClient(t)
+
+	repo, err := Open(ctx, Options{Addr: srv.Addr(), Client: c, RepoID: "q", Create: true, Repo: smallRepoOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = repo.Close() })
+	dk, err := NewDataKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add(ctx, &Object{ID: "a", Owner: "alice", Text: "first fits"}, dk); err != nil {
+		t.Fatal(err)
+	}
+
+	// Over quota: the remote error must match ErrOverQuota and carry a
+	// machine-readable retry hint (zero: capacity, not congestion).
+	err = repo.Add(ctx, &Object{ID: "b", Owner: "alice", Text: "second rejected"}, dk)
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over-quota add: err = %v, want ErrOverQuota", err)
+	}
+	if d, ok := RetryAfter(err); !ok || d != 0 {
+		t.Errorf("RetryAfter = (%v, %v), want (0, true) for a capacity rejection", d, ok)
+	}
+
+	// Unknown repository: typed, not text-matched.
+	ghost, err := Open(ctx, Options{Addr: srv.Addr(), Client: c, RepoID: "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ghost.Close() })
+	if err := ghost.Add(ctx, &Object{ID: "x", Owner: "o", Text: "t"}, dk); !errors.Is(err, core.ErrRepoNotFound) {
+		t.Errorf("add to unknown repo: err = %v, want core.ErrRepoNotFound", err)
+	}
+
+	// Unknown object: typed through GetResp's code field.
+	if _, _, err := repo.Get(ctx, "never-stored"); !errors.Is(err, core.ErrUnknownObject) {
+		t.Errorf("get of unknown object: err = %v, want core.ErrUnknownObject", err)
+	}
+
+	// Errors that carry no quota rejection yield ok=false.
+	if _, ok := RetryAfter(errors.New("opaque")); ok {
+		t.Error("RetryAfter claimed an opaque error was a quota rejection")
+	}
+	if _, ok := RetryAfter(nil); ok {
+		t.Error("RetryAfter claimed nil was a quota rejection")
+	}
+}
+
+// TestLocalQuotaSentinel exercises the same sentinel embedded: the engine's
+// *core.QuotaError surfaces through the public accessor unchanged.
+func TestLocalQuotaSentinel(t *testing.T) {
+	ctx := context.Background()
+	svc, _, err := OpenService(ServiceOptions{Quotas: Quotas{MaxObjects: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := Open(ctx, Options{Service: svc, Client: newTestClient(t), RepoID: "lq", Create: true, Repo: smallRepoOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = repo.Close() }()
+	dk, err := NewDataKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add(ctx, &Object{ID: "a", Owner: "u", Text: "fits"}, dk); err != nil {
+		t.Fatal(err)
+	}
+	err = repo.Add(ctx, &Object{ID: "b", Owner: "u", Text: "rejected"}, dk)
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("embedded over-quota: err = %v, want ErrOverQuota", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Tenant != "u" {
+		t.Errorf("embedded rejection = %+v, want *QuotaError for tenant u", qe)
+	}
+	if d, ok := RetryAfter(err); !ok || d != 0 {
+		t.Errorf("RetryAfter = (%v, %v), want (0, true)", d, ok)
+	}
+}
+
+// TestOpenRemoteSentinelOwnsConnection is the regression test for the
+// create-collision path: the handle returned alongside ErrRepositoryExists
+// owns a live connection, and closing it (even twice) releases every
+// resource — no goroutine survives the test.
+func TestOpenRemoteSentinelOwnsConnection(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	svc := memService(t)
+	srv, err := Serve("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	c := newTestClient(t)
+	first, err := Open(ctx, Options{Addr: srv.Addr(), Client: c, RepoID: "dup", Create: true, Repo: smallRepoOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		h, err := Open(ctx, Options{Addr: srv.Addr(), Client: c, RepoID: "dup", Create: true, Repo: smallRepoOptions()})
+		if !errors.Is(err, ErrRepositoryExists) {
+			t.Fatalf("round %d: err = %v, want ErrRepositoryExists", i, err)
+		}
+		if h == nil {
+			t.Fatal("sentinel path returned no handle")
+		}
+		if err := h.Close(); err != nil {
+			t.Fatalf("round %d close: %v", i, err)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatalf("round %d second close: %v", i, err)
+		}
+	}
+	// Leakcheck's cleanup asserts that the per-connection goroutines of all
+	// sentinel-path handles actually terminated.
+}
