@@ -7,6 +7,7 @@
 //	          [-obs-out BENCH_obs.json] [-persistence [-persistence-out BENCH_persistence.json]]
 //	          [-incremental [-incremental-out BENCH_incremental.json]] [-trace-overhead]
 //	          [-ann [-ann-out BENCH_ann.json]] [-tenancy [-tenancy-out BENCH_tenancy.json]]
+//	          [-cluster [-cluster-out BENCH_cluster.json]]
 //
 // The default scale runs the whole suite in minutes on a laptop by shrinking
 // workloads ~10x; -scale paper restores the published sizes (expect the
@@ -65,6 +66,8 @@ func main() {
 	annOut := flag.String("ann-out", "BENCH_ann.json", "write the ANN report as JSON to this file")
 	tenancy := flag.Bool("tenancy", false, "run the multi-tenancy benchmark: lazy-activation churn over a large repository fleet under a memory budget, plus hot-tenant fairness")
 	tenancyOut := flag.String("tenancy-out", "BENCH_tenancy.json", "write the tenancy report as JSON to this file")
+	clusterBench := flag.Bool("cluster", false, "run the replication benchmark: read scale-out across cluster sizes behind the consistent-hash router, replication lag, and zero-loss failover across a leader kill")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "write the cluster report as JSON to this file")
 	traceOverhead := flag.Bool("trace-overhead", false, "measure request-tracing overhead at 0%, 1% and 100% sampling vs an untraced baseline")
 	flag.Parse()
 	if err := run(*scale, *experiment); err != nil {
@@ -97,6 +100,12 @@ func main() {
 	}
 	if *tenancy {
 		if err := runTenancy(*scale, *tenancyOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *clusterBench {
+		if err := runCluster(*scale, *clusterOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mie-bench:", err)
 			os.Exit(1)
 		}
@@ -277,6 +286,39 @@ func runTenancy(scale, outPath string) error {
 		return fmt.Errorf("write tenancy report: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "tenancy report written to %s\n", outPath)
+	return nil
+}
+
+// runCluster drives the replication benchmark — in-process multi-node
+// clusters behind the consistent-hash router: read scaling at each size,
+// replication lag, and the leader-kill failover ledger — prints the report
+// and writes it as JSON.
+func runCluster(scale, outPath string) error {
+	cfg, err := configFor(scale)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "mie-cluster-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	report, err := experiments.ClusterExperiment(cfg, dir)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	experiments.WriteClusterReport(os.Stdout, report)
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal cluster report: %w", err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write cluster report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "cluster report written to %s\n", outPath)
 	return nil
 }
 

@@ -9,6 +9,17 @@
 //	           [-quota-objects N] [-quota-bytes N] [-quota-inflight N]
 //	           [-debug-addr 127.0.0.1:7710] [-log-level info]
 //	           [-trace-sample 0.01] [-slow-ms 250]
+//	           [-role leader|follower] [-peers leader:7709]
+//	           [-router node-0=host0:7709,node-1=host1:7709]
+//
+// Replication (requires -data-dir): -role leader streams every acknowledged
+// WAL record to subscribing followers; -role follower replicates from the
+// leader named by -peers, serves Search/Get from its local replica and
+// forwards mutations and training to the leader. -router turns the process
+// into the stateless routing tier instead of a node: it serves the wire
+// protocol on -addr, places repositories on the listed nodes by consistent
+// hashing (the first entry is the leader), health-checks each node and
+// fails reads over to caught-up replicas.
 //
 // With -data-dir the server is crash-safe: every acknowledged Update/Remove
 // is appended to a per-repository write-ahead log before the client sees
@@ -56,6 +67,8 @@ import (
 
 	"mie/internal/core"
 	"mie/internal/obs"
+	"mie/internal/replica"
+	"mie/internal/router"
 	"mie/internal/server"
 	"mie/internal/wal"
 )
@@ -77,6 +90,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling probability for request traces in [0,1]")
 	slowMS := flag.Int("slow-ms", 250, "keep a trace and log a warning for requests slower than this many milliseconds (0 = disabled)")
+	role := flag.String("role", "", `replication role: "" (standalone), "leader" (stream acknowledged WAL records to followers) or "follower" (replicate from -peers, forward mutations to it; requires -data-dir)`)
+	peers := flag.String("peers", "", "leader address a follower replicates from and forwards mutations to (with -role follower)")
+	routerSpec := flag.String("router", "", "run as the routing tier instead of a node: comma-separated name=addr members, first entry is the leader; serves on -addr")
 	var ten tenancyFlags
 	flag.BoolVar(&ten.lazy, "lazy", false, "activate repositories on first use instead of at startup (requires -data-dir)")
 	flag.StringVar(&ten.memoryBudget, "memory-budget", "", "approximate resident-memory budget for active repositories, e.g. 512MiB or 4GiB; idle repositories are evicted to disk above it (requires -data-dir; empty = unlimited)")
@@ -84,10 +100,44 @@ func main() {
 	flag.Int64Var(&ten.quotas.MaxBytes, "quota-bytes", 0, "per-tenant cap on approximate resident bytes (0 = unlimited)")
 	flag.IntVar(&ten.quotas.MaxInflight, "quota-inflight", 0, "per-tenant cap on concurrent in-flight requests (0 = unlimited)")
 	flag.Parse()
-	if err := run(*addr, *dataDir, *snapEvery, *walSync, *debugAddr, *logLevel, *traceSample, *slowMS, ten); err != nil {
+	if *routerSpec != "" {
+		if err := runRouter(*addr, *routerSpec, *logLevel); err != nil {
+			fmt.Fprintln(os.Stderr, "mie-server:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*addr, *dataDir, *snapEvery, *walSync, *debugAddr, *logLevel, *traceSample, *slowMS, *role, *peers, ten); err != nil {
 		fmt.Fprintln(os.Stderr, "mie-server:", err)
 		os.Exit(1)
 	}
+}
+
+// runRouter serves the routing tier until interrupted.
+func runRouter(addr, spec, logLevel string) error {
+	level, err := obs.ParseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	cfg := router.Config{Addr: addr, Logger: logger}
+	for _, part := range strings.Split(spec, ",") {
+		name, nodeAddr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fmt.Errorf("-router: member %q is not name=addr", part)
+		}
+		cfg.Nodes = append(cfg.Nodes, router.Node{Name: name, Addr: nodeAddr})
+	}
+	rt, err := router.Start(cfg)
+	if err != nil {
+		return err
+	}
+	logger.Info("routing", "addr", rt.Addr(), "nodes", len(cfg.Nodes), "leader", cfg.Nodes[0].Name)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	logger.Info("shutting down")
+	return rt.Close()
 }
 
 // parseBytes parses a human byte size: a plain integer, or one with a
@@ -122,7 +172,7 @@ func parseBytes(s string) (int64, error) {
 	return n * mult, nil
 }
 
-func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logLevel string, traceSample float64, slowMS int, ten tenancyFlags) error {
+func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logLevel string, traceSample float64, slowMS int, role, peers string, ten tenancyFlags) error {
 	level, err := obs.ParseLevel(logLevel)
 	if err != nil {
 		return err
@@ -183,11 +233,48 @@ func run(addr, dataDir string, snapEvery time.Duration, walSync, debugAddr, logL
 		defer func() { _ = dbg.Close() }()
 	}
 
-	srv, err := server.New(addr, svc, logger, server.WithTracer(tracer))
+	sopts2 := []server.Option{server.WithTracer(tracer)}
+	switch role {
+	case "":
+	case "leader":
+		if dataDir == "" {
+			return fmt.Errorf("-role leader requires -data-dir (replication ships the WAL)")
+		}
+		hub := replica.NewHub(svc, obs.Default())
+		sopts2 = append(sopts2,
+			server.WithReplication(hub),
+			server.WithNodeStatus(func() server.NodeStatus {
+				return server.NodeStatus{Role: "leader", CaughtUp: true}
+			}))
+	case "follower":
+		if dataDir == "" {
+			return fmt.Errorf("-role follower requires -data-dir (the replica re-logs applied records)")
+		}
+		if peers == "" {
+			return fmt.Errorf("-role follower requires -peers with the leader address")
+		}
+		fol, err := replica.StartFollower(svc, peers, obs.Default(), logger)
+		if err != nil {
+			return err
+		}
+		defer fol.Close()
+		fwd := replica.NewForwarder(peers)
+		defer func() { _ = fwd.Close() }()
+		sopts2 = append(sopts2,
+			server.WithForwarder(fwd),
+			server.WithNodeStatus(func() server.NodeStatus {
+				st := fol.Status()
+				return server.NodeStatus{Role: "follower", CaughtUp: st.CaughtUp, LagNanos: st.LagNanos}
+			}))
+	default:
+		return fmt.Errorf("-role must be empty, leader or follower (got %q)", role)
+	}
+
+	srv, err := server.New(addr, svc, logger, sopts2...)
 	if err != nil {
 		return err
 	}
-	logger.Info("serving", "addr", srv.Addr())
+	logger.Info("serving", "addr", srv.Addr(), "role", role)
 
 	stopSnap := make(chan struct{})
 	snapDone := make(chan struct{})

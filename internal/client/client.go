@@ -421,14 +421,22 @@ func (c *Conn) muxCall(ctx context.Context, t *transport, kind string, req inter
 			return nil, 0, 0, context.DeadlineExceeded
 		}
 	}
-	ch := make(chan demuxed, 1)
-	id := t.register(ch)
-	defer t.unregister(id)
-	env, err := wire.NewEnvelope(kind, c.tokenSnapshot(), id, timeout, req)
+	env, err := wire.NewEnvelope(kind, c.tokenSnapshot(), 0, timeout, req)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	stampTrace(ctx, env)
+	return c.muxExchange(ctx, t, env)
+}
+
+// muxExchange sends one pre-built envelope on a multiplexed transport and
+// awaits the response echoing its ID. The envelope's ID is (re)stamped with
+// a fresh request ID for this transport.
+func (c *Conn) muxExchange(ctx context.Context, t *transport, env *wire.Envelope) (*wire.Envelope, int, int, error) {
+	ch := make(chan demuxed, 1)
+	id := t.register(ch)
+	defer t.unregister(id)
+	env.ID = id
 	res := make(chan writeResult, 1)
 	select {
 	case t.writeq <- outFrame{env: env, res: res}:
@@ -487,6 +495,14 @@ func (c *Conn) lockstepCall(ctx context.Context, t *transport, kind string, req 
 		return nil, 0, 0, err
 	}
 	stampTrace(ctx, env)
+	return c.lockstepExchange(ctx, t, env)
+}
+
+// lockstepExchange runs one pre-built envelope through v1 framing: the whole
+// round trip holds the transport. The envelope's ID is forced to zero (the
+// v1 marker).
+func (c *Conn) lockstepExchange(ctx context.Context, t *transport, env *wire.Envelope) (*wire.Envelope, int, int, error) {
+	env.ID = 0
 	t.lsMu.Lock()
 	defer t.lsMu.Unlock()
 	if dl, ok := ctx.Deadline(); ok {
@@ -496,13 +512,13 @@ func (c *Conn) lockstepCall(ctx context.Context, t *transport, kind string, req 
 	up, err := wire.WriteEnvelope(t.tcp, env)
 	t.reg.Counter("client_tx_bytes_total").Add(int64(up))
 	if err != nil {
-		err = fmt.Errorf("client: write %s: %w", kind, err)
+		err = fmt.Errorf("client: write %s: %w", env.Kind, err)
 		t.fail(err)
 		return nil, 0, 0, err
 	}
 	renv, down, err := wire.ReadFrame(t.tcp)
 	if err != nil {
-		err = fmt.Errorf("client: %s response: %w", kind, err)
+		err = fmt.Errorf("client: %s response: %w", env.Kind, err)
 		t.fail(err)
 		return nil, up, 0, err
 	}

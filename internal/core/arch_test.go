@@ -18,9 +18,11 @@ import (
 // would quietly erode.
 func TestEngineLayersDoNotImportTransport(t *testing.T) {
 	forbidden := map[string]string{
-		"mie/internal/server": "transport (server)",
-		"mie/internal/client": "transport (client)",
-		"mie/internal/wire":   "wire protocol",
+		"mie/internal/server":  "transport (server)",
+		"mie/internal/client":  "transport (client)",
+		"mie/internal/wire":    "wire protocol",
+		"mie/internal/replica": "replication tier",
+		"mie/internal/router":  "routing tier",
 	}
 	// Directories relative to this test file (internal/core).
 	layers := map[string]string{
@@ -55,6 +57,52 @@ func TestEngineLayersDoNotImportTransport(t *testing.T) {
 				if why, bad := forbidden[importPath]; bad {
 					t.Errorf("%s/%s imports %s (%s): engine layers must not depend on transport",
 						layer, name, importPath, why)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicationTierImportBoundaries pins the scale-out tier's layering:
+// the replica package plugs into the server through interfaces
+// (server.ReplicationSource, server.Forwarder), so it must never import the
+// server itself — and the router is a pure frame proxy that must know
+// nothing of the server, the replication internals, or the engine. Core
+// stays below both: it may be imported, never import them (covered by
+// TestEngineLayersDoNotImportTransport above).
+func TestReplicationTierImportBoundaries(t *testing.T) {
+	forbidden := map[string]map[string]bool{
+		filepath.Join("..", "replica"): {
+			"mie/internal/server": true,
+			"mie/internal/router": true,
+		},
+		filepath.Join("..", "router"): {
+			"mie/internal/server":  true,
+			"mie/internal/replica": true,
+			"mie/internal/core":    true,
+		},
+	}
+	fset := token.NewFileSet()
+	for dir, banned := range forbidden {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, entry := range entries {
+			name := entry.Name()
+			if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Errorf("parse %s: %v", path, err)
+				continue
+			}
+			for _, imp := range f.Imports {
+				importPath := strings.Trim(imp.Path.Value, `"`)
+				if banned[importPath] {
+					t.Errorf("%s imports %s: replication-tier layering violation", path, importPath)
 				}
 			}
 		}

@@ -165,24 +165,6 @@ func (d *durability) removeRepoFiles(id string) error {
 	return nil
 }
 
-// LoadService restores a service from a data directory.
-//
-// Deprecated: use OpenService(ServiceOptions{Dir: ..., Sync: ...,
-// SyncInterval: ..., Repo: indexOpts}); LoadService remains as a thin
-// wrapper for one release (DESIGN.md §13 deprecation ledger) and will be
-// removed.
-func LoadService(opts DurableOptions, indexOpts *RepositoryOptions) (*Service, *RecoveryReport, error) {
-	if opts.Dir == "" {
-		return nil, nil, errors.New("core: LoadService needs a data directory")
-	}
-	return OpenService(ServiceOptions{
-		Dir:          opts.Dir,
-		Sync:         opts.Sync,
-		SyncInterval: opts.SyncInterval,
-		Repo:         indexOpts,
-	})
-}
-
 // walReplay is what replaying one repository's log recovered.
 type walReplay struct {
 	Records int
@@ -274,6 +256,9 @@ func (s *Service) openDir() (*RecoveryReport, error) {
 			continue
 		}
 		repo.setGovernor(s.gov)
+		if s.tap != nil {
+			repo.setTap(s.tap)
+		}
 		s.gov.addRepo(repo)
 		report.Repositories++
 		report.ReplayedRecords += rec.Records

@@ -187,6 +187,9 @@ func (s *Service) activate(e *repoEntry) (*Repository, error) {
 		return nil, fmt.Errorf("core: activate %s: %w", e.id, err)
 	}
 	repo.setGovernor(s.gov)
+	if s.tap != nil {
+		repo.setTap(s.tap)
+	}
 	s.gov.addRepo(repo)
 	s.activations.Add(1)
 	s.activationsC.Inc()

@@ -341,6 +341,9 @@ type Repository struct {
 	// writeMu serializes mutators (Update/Remove), index maintenance and
 	// epoch installs with each other. Readers never take it.
 	writeMu sync.Mutex
+	// tap (nil unless replication is enabled, guarded by writeMu like gov)
+	// observes every durably logged mutation and epoch install.
+	tap ReplicationTap
 	// wal (nil for non-durable repositories, guarded by writeMu) is the
 	// repository's write-ahead log: every mutation is appended before it is
 	// applied, so an acknowledged write is replayable after a crash.
@@ -796,6 +799,9 @@ func (r *Repository) walAppend(sp *obs.Span, rec *walRecord) error {
 	if err := r.wal.Append(payload); err != nil {
 		return fmt.Errorf("core: wal append for %s: %w", r.id, err)
 	}
+	if r.tap != nil {
+		r.tap.MutationLogged(r.id, payload)
+	}
 	return nil
 }
 
@@ -814,7 +820,11 @@ func (r *Repository) walCompensate(id string, prev *storedObject, replaced bool)
 		rec = &walRecord{ObjectID: id, Update: updateFromStored(id, prev)}
 	}
 	if payload, err := encodeWALRecord(rec); err == nil {
-		_ = r.wal.Append(payload)
+		if err := r.wal.Append(payload); err == nil && r.tap != nil {
+			// Followers replay the compensation too, converging on the same
+			// rolled-back state the leader settled on.
+			r.tap.MutationLogged(r.id, payload)
+		}
 	}
 }
 
@@ -993,6 +1003,9 @@ func (r *Repository) TrainContext(ctx context.Context) error {
 		indexes:   indexes,
 		spillDirs: spillDirs,
 	})
+	if r.tap != nil {
+		r.tap.EpochInstalled(r.id, cl.epoch)
+	}
 	r.changelog = nil
 	// A full rebuild re-indexed everything; the accumulated delta is spent.
 	r.deltaIDs = make(map[string]struct{})
@@ -1171,6 +1184,9 @@ func (r *Repository) tryTrainIncremental(ctx context.Context, sp *obs.Span) (han
 		indexes:   cur.indexes,
 		spillDirs: cur.spillDirs,
 	})
+	if r.tap != nil {
+		r.tap.EpochInstalled(r.id, cur.epoch+1)
+	}
 	r.writeMu.Unlock()
 	// NOTE: cur's indexes are shared with the new epoch — do not close them.
 

@@ -43,6 +43,10 @@ type Service struct {
 	repoOpts *RepositoryOptions
 	// gov is the per-tenant admission governor (nil = no quotas).
 	gov *TenantGovernor
+	// tap (nil unless replication is enabled; set before the service serves
+	// requests) observes the catalog and every repository's durable
+	// mutation stream. See ReplicationTap.
+	tap ReplicationTap
 
 	// clock is the logical LRU clock; every Acquire stamps its entry.
 	clock atomic.Uint64
@@ -78,20 +82,6 @@ func newServiceShell() *Service {
 		evictErrorsC: reg.Counter("repo_eviction_errors_total"),
 		activationH:  reg.Histogram("repo_activation_seconds"),
 	}
-}
-
-// NewService creates an empty in-memory service.
-//
-// Deprecated: use OpenService(ServiceOptions{}); NewService remains as a
-// thin wrapper for one release (DESIGN.md §13 deprecation ledger) and will
-// be removed.
-func NewService() *Service {
-	s, _, err := OpenService(ServiceOptions{})
-	if err != nil {
-		// Unreachable: an in-memory open with zero options cannot fail.
-		panic(err)
-	}
-	return s
 }
 
 // CreateRepository initializes a new repository (Algorithm 5's cloud half).
@@ -133,12 +123,18 @@ func (s *Service) CreateRepository(id string, opts RepositoryOptions) (*Reposito
 		return nil, err
 	}
 	r.setGovernor(s.gov)
+	if s.tap != nil {
+		r.setTap(s.tap)
+	}
 	e.repo = r
 	e.lastUsed = s.clock.Add(1)
 	ch := e.loading
 	e.loading = nil
 	e.mu.Unlock()
 	close(ch)
+	if s.tap != nil {
+		s.tap.RepoCreated(id, r.Options())
+	}
 	s.markActive(e)
 	s.maybeEvict(e)
 	return r, nil
@@ -222,6 +218,9 @@ func (s *Service) DropRepository(id string) error {
 		if derr := s.durable.removeRepoFiles(id); derr != nil && err == nil {
 			err = derr
 		}
+	}
+	if s.tap != nil {
+		s.tap.RepoDropped(id)
 	}
 	return err
 }

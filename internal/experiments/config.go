@@ -56,6 +56,20 @@ type Config struct {
 	// TenancyRepos is how many repositories the multi-tenancy benchmark
 	// (mie-bench -tenancy) hosts on one lazily-activating service.
 	TenancyRepos int
+	// ClusterNodes is the cluster-size sweep of the read-scaling phase of
+	// the replication benchmark (mie-bench -cluster).
+	ClusterNodes []int
+	// ClusterRepos and ClusterObjects shape the replicated corpus: how
+	// many repositories spread across the ring and how many text objects
+	// each holds.
+	ClusterRepos   int
+	ClusterObjects int
+	// ClusterWrites sizes the replication-lag burst and the failover
+	// ledger (writes acknowledged across a leader kill and restart).
+	ClusterWrites int
+	// ClusterReadMillis is the wall-clock window of each read-scaling
+	// measurement.
+	ClusterReadMillis int
 	// Seed drives all dataset generation.
 	Seed int64
 }
@@ -64,23 +78,28 @@ type Config struct {
 // paper) used by `go test -bench` and `mie-bench` without flags.
 func Default() Config {
 	return Config{
-		Sizes:           []int{100, 200, 300},
-		SearchRepoSize:  100,
-		MultiUserSize:   100,
-		HolidayGroups:   30,
-		HolidayPerGroup: 3,
-		ImageSize:       48,
-		Scales:          []int{16, 32},
-		Words:           200,
-		TrainIters:      15,
-		TreeBranch:      4,
-		TreeHeight:      3,
-		PaillierBits:    512,
-		K:               10,
-		ANNCorpus:       10000,
-		ANNQueries:      200,
-		TenancyRepos:    10000,
-		Seed:            1,
+		Sizes:             []int{100, 200, 300},
+		SearchRepoSize:    100,
+		MultiUserSize:     100,
+		HolidayGroups:     30,
+		HolidayPerGroup:   3,
+		ImageSize:         48,
+		Scales:            []int{16, 32},
+		Words:             200,
+		TrainIters:        15,
+		TreeBranch:        4,
+		TreeHeight:        3,
+		PaillierBits:      512,
+		K:                 10,
+		ANNCorpus:         10000,
+		ANNQueries:        200,
+		TenancyRepos:      10000,
+		ClusterNodes:      []int{1, 2, 4},
+		ClusterRepos:      8,
+		ClusterObjects:    10,
+		ClusterWrites:     120,
+		ClusterReadMillis: 1500,
+		Seed:              1,
 	}
 }
 
@@ -88,23 +107,28 @@ func Default() Config {
 // Hom-MSSE at 3000 objects is the experiment that drained a tablet battery.
 func PaperScale() Config {
 	return Config{
-		Sizes:           []int{1000, 2000, 3000},
-		SearchRepoSize:  1000,
-		MultiUserSize:   1000,
-		HolidayGroups:   500,
-		HolidayPerGroup: 3,
-		ImageSize:       128,
-		Scales:          []int{16, 32, 64},
-		Words:           1000,
-		TrainIters:      25,
-		TreeBranch:      10,
-		TreeHeight:      3,
-		PaillierBits:    1024,
-		K:               20,
-		ANNCorpus:       100000,
-		ANNQueries:      500,
-		TenancyRepos:    100000,
-		Seed:            1,
+		Sizes:             []int{1000, 2000, 3000},
+		SearchRepoSize:    1000,
+		MultiUserSize:     1000,
+		HolidayGroups:     500,
+		HolidayPerGroup:   3,
+		ImageSize:         128,
+		Scales:            []int{16, 32, 64},
+		Words:             1000,
+		TrainIters:        25,
+		TreeBranch:        10,
+		TreeHeight:        3,
+		PaillierBits:      1024,
+		K:                 20,
+		ANNCorpus:         100000,
+		ANNQueries:        500,
+		TenancyRepos:      100000,
+		ClusterNodes:      []int{1, 2, 4},
+		ClusterRepos:      16,
+		ClusterObjects:    20,
+		ClusterWrites:     300,
+		ClusterReadMillis: 3000,
+		Seed:              1,
 	}
 }
 
@@ -121,29 +145,38 @@ func PaperSample() Config {
 	cfg.ANNCorpus = 10000
 	cfg.ANNQueries = 200
 	cfg.TenancyRepos = 10000
+	cfg.ClusterRepos = 8
+	cfg.ClusterObjects = 10
+	cfg.ClusterWrites = 120
+	cfg.ClusterReadMillis = 1500
 	return cfg
 }
 
 // Quick returns a minimal configuration for smoke tests.
 func Quick() Config {
 	return Config{
-		Sizes:           []int{20, 40},
-		SearchRepoSize:  20,
-		MultiUserSize:   10,
-		HolidayGroups:   8,
-		HolidayPerGroup: 3,
-		ImageSize:       32,
-		Scales:          []int{16},
-		Words:           40,
-		TrainIters:      10,
-		TreeBranch:      3,
-		TreeHeight:      2,
-		PaillierBits:    512,
-		K:               5,
-		ANNCorpus:       2000,
-		ANNQueries:      50,
-		TenancyRepos:    500,
-		Seed:            1,
+		Sizes:             []int{20, 40},
+		SearchRepoSize:    20,
+		MultiUserSize:     10,
+		HolidayGroups:     8,
+		HolidayPerGroup:   3,
+		ImageSize:         32,
+		Scales:            []int{16},
+		Words:             40,
+		TrainIters:        10,
+		TreeBranch:        3,
+		TreeHeight:        2,
+		PaillierBits:      512,
+		K:                 5,
+		ANNCorpus:         2000,
+		ANNQueries:        50,
+		TenancyRepos:      500,
+		ClusterNodes:      []int{1, 2},
+		ClusterRepos:      4,
+		ClusterObjects:    6,
+		ClusterWrites:     40,
+		ClusterReadMillis: 700,
+		Seed:              1,
 	}
 }
 

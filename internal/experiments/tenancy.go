@@ -44,6 +44,9 @@ type FairnessRow struct {
 // TenancyRepos repositories on one service with lazy activation and a
 // memory budget a fraction of the total footprint.
 type TenancyReport struct {
+	// Seed is the dataset seed the run was generated from, recorded so a
+	// published report pins the exact workload it measured.
+	Seed              int64 `json:"seed"`
 	Repos             int   `json:"repos"`
 	SeedObjects       int   `json:"seed_objects"`
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
@@ -114,7 +117,7 @@ func TenancyExperiment(cfg Config, dir string) (*TenancyReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	report := &TenancyReport{Repos: n, MemoryBudgetBytes: tenancyMemoryBudget}
+	report := &TenancyReport{Seed: cfg.Seed, Repos: n, MemoryBudgetBytes: tenancyMemoryBudget}
 	ropts := core.RepositoryOptions{Vocab: cfg.vocab()}
 
 	// acked maps repository id -> object ids whose writes were acknowledged;
@@ -442,6 +445,6 @@ func WriteTenancyReport(w io.Writer, r *TenancyReport) {
 			quota, f.HotWorkers, f.HotOpsPerSec, f.HotRejections, f.LightP50Ms, f.LightP95Ms, f.LightP99Ms)
 	}
 	// Machine-parsable summary for scripts/check.sh's tenancy smoke gate.
-	fmt.Fprintf(w, "tenancy: repos=%d lost_acks=%d max_over_budget=%.4f activation_p99_ms=%.3f\n",
-		r.Repos, r.LostAcks, r.MaxOverBudgetFraction, r.ActivationP99Ms)
+	fmt.Fprintf(w, "tenancy: seed=%d repos=%d lost_acks=%d max_over_budget=%.4f activation_p99_ms=%.3f\n",
+		r.Seed, r.Repos, r.LostAcks, r.MaxOverBudgetFraction, r.ActivationP99Ms)
 }

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTenancySeedThreaded: the tenancy report must pin the dataset seed it
+// was generated from — both in the JSON document and in the summary line
+// scripts/check.sh parses — so a published BENCH_tenancy.json names its
+// exact workload.
+func TestTenancySeedThreaded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a (small) tenancy experiment")
+	}
+	cfg := Quick()
+	cfg.TenancyRepos = 24
+	cfg.Seed = 42
+
+	report, err := TenancyExperiment(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Seed != cfg.Seed {
+		t.Fatalf("report seed %d, want the configured %d", report.Seed, cfg.Seed)
+	}
+	var sb strings.Builder
+	WriteTenancyReport(&sb, report)
+	if !strings.Contains(sb.String(), "tenancy: seed=42 ") {
+		t.Fatalf("summary line does not carry the seed:\n%s", sb.String())
+	}
+}

@@ -12,7 +12,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
@@ -238,95 +237,4 @@ func wireLevel(mode, addr, repoID string, queries []*core.Query, n, perClient in
 		P95Ms:         percentileMs(all, 0.95),
 		P99Ms:         percentileMs(all, 0.99),
 	}, nil
-}
-
-// latencyRelay is a TCP forwarder that delays every byte burst by a fixed
-// one-way latency in each direction — the userspace equivalent of `tc
-// netem delay`. Crucially it keeps reading while earlier bursts are still
-// queued for delivery, so pipelined traffic overlaps its round trips the
-// way it would on a real long-haul link, while a lockstep exchange pays
-// the full RTT per request.
-type latencyRelay struct {
-	ln     net.Listener
-	target string
-	delay  time.Duration
-	wg     sync.WaitGroup
-}
-
-func newLatencyRelay(target string, delay time.Duration) (*latencyRelay, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	r := &latencyRelay{ln: ln, target: target, delay: delay}
-	r.wg.Add(1)
-	go r.acceptLoop()
-	return r, nil
-}
-
-func (r *latencyRelay) Addr() string { return r.ln.Addr().String() }
-
-func (r *latencyRelay) Close() {
-	_ = r.ln.Close()
-	r.wg.Wait()
-}
-
-func (r *latencyRelay) acceptLoop() {
-	defer r.wg.Done()
-	for {
-		conn, err := r.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		upstream, err := net.Dial("tcp", r.target)
-		if err != nil {
-			_ = conn.Close()
-			continue
-		}
-		r.wg.Add(2)
-		go r.pipe(upstream, conn)
-		go r.pipe(conn, upstream)
-	}
-}
-
-// pipe copies src to dst, delivering each burst r.delay after it was read.
-// A reader goroutine timestamps bursts into a deep queue so reading never
-// stalls behind delivery.
-func (r *latencyRelay) pipe(dst, src net.Conn) {
-	defer r.wg.Done()
-	type burst struct {
-		due  time.Time
-		data []byte
-	}
-	ch := make(chan burst, 4096)
-	go func() {
-		defer close(ch)
-		buf := make([]byte, 64<<10)
-		for {
-			n, err := src.Read(buf)
-			if n > 0 {
-				data := make([]byte, n)
-				copy(data, buf[:n])
-				ch <- burst{due: time.Now().Add(r.delay), data: data}
-			}
-			if err != nil {
-				return
-			}
-		}
-	}()
-	for b := range ch {
-		if d := time.Until(b.due); d > 0 {
-			time.Sleep(d)
-		}
-		if _, err := dst.Write(b.data); err != nil {
-			break
-		}
-	}
-	// Half-close so the peer sees EOF once the source side is done; full
-	// close tears down the paired pipe's reader too, which is fine after
-	// the workload completes.
-	_ = dst.Close()
-	_ = src.Close()
-	for range ch { // drain so the reader goroutine exits
-	}
 }

@@ -1,0 +1,75 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic: the ring is a pure function of its membership — two
+// routers built from the same node list agree on every placement, which is
+// what lets clients hit any router instance.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"node-0", "node-1", "node-2"}
+	a := NewRing(nodes, 0)
+	b := NewRing(nodes, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("repo-%04d", i)
+		pa, pb := a.Prefer(key), b.Prefer(key)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("placement of %q diverged: %v vs %v", key, pa, pb)
+		}
+		if len(pa) != len(nodes) {
+			t.Fatalf("Prefer(%q) returned %d nodes, want all %d", key, len(pa), len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, n := range pa {
+			if seen[n] {
+				t.Fatalf("Prefer(%q) repeats node %q", key, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingDistribution: virtual nodes keep first-choice load roughly even —
+// no node may own a wildly outsized share of keys.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"node-0", "node-1", "node-2", "node-3"}
+	r := NewRing(nodes, 0)
+	count := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		count[r.Prefer(fmt.Sprintf("repo-%05d", i))[0]]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if c := count[n]; c < fair/3 || c > fair*3 {
+			t.Fatalf("node %q owns %d of %d keys (fair share %d): distribution too skewed: %v", n, c, keys, fair, count)
+		}
+	}
+}
+
+// TestRingMinimalRemap: removing one node only remaps the keys that node
+// owned; every other key keeps its first choice — the consistent-hashing
+// property that makes membership changes cheap.
+func TestRingMinimalRemap(t *testing.T) {
+	full := NewRing([]string{"node-0", "node-1", "node-2"}, 0)
+	shrunk := NewRing([]string{"node-0", "node-1"}, 0)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("repo-%04d", i)
+		before := full.Prefer(key)[0]
+		after := shrunk.Prefer(key)[0]
+		if before == "node-2" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s although its node survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was homed on the removed node; distribution test is vacuous")
+	}
+}

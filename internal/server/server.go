@@ -97,6 +97,13 @@ type Server struct {
 	tracer    *obs.Tracer
 	met       serverMetrics
 
+	// Replication seams (see repl.go): repl makes this node a leader,
+	// forward makes it a follower for mutations, nodeStatus annotates the
+	// handshake with the node's role and lag.
+	repl       ReplicationSource
+	forward    Forwarder
+	nodeStatus func() NodeStatus
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -253,6 +260,18 @@ func (cs *connState) write(id uint64, kind string, payload interface{}) (int, er
 	return wire.WriteEnvelope(cs.conn, env)
 }
 
+// writeEnv relays a response envelope produced elsewhere (the leader, via a
+// Forwarder) under the connection's write lock, re-stamped with the origin
+// request's id. The hop-internal Auth never leaks back to the client.
+func (cs *connState) writeEnv(id uint64, env *wire.Envelope) (int, error) {
+	out := *env
+	out.ID = id
+	out.Auth = ""
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	return wire.WriteEnvelope(cs.conn, &out)
+}
+
 // register installs a cancel function for an in-flight request id.
 func (cs *connState) register(id uint64, cancel context.CancelFunc) {
 	if id == 0 {
@@ -345,11 +364,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Version negotiation: always answer v2 (a v1 server would have
 			// answered KindError, which is the client's fallback signal).
 			s.reg.Counter(obs.L("server_requests_total", "kind", env.Kind)).Inc()
-			wn, werr := cs.write(env.ID, wire.KindHelloResp, wire.HelloResp{Version: wire.ProtocolV2})
+			wn, werr := cs.write(env.ID, wire.KindHelloResp, s.helloResp())
 			s.met.txBytes.Add(int64(wn))
 			if werr != nil {
 				clog.Info("hello reply failed", "err", werr)
 				return
+			}
+		case env.Kind == wire.KindReplAck:
+			// Fire-and-forget like Cancel: feed the leader's cursor
+			// accounting, send nothing.
+			var ack wire.ReplAck
+			if err := env.Decode(&ack); err != nil {
+				clog.Debug("bad repl-ack frame", "err", err)
+				continue
+			}
+			if s.repl != nil {
+				s.repl.Ack(ack)
 			}
 		case env.Kind == wire.KindCancel:
 			// Fire-and-forget: cancel the in-flight request, send nothing.
@@ -428,6 +458,18 @@ func (s *Server) handle(cs *connState, lg *obs.Logger, env *wire.Envelope) error
 	}()
 	if lg.Enabled(obs.LevelDebug) {
 		lg.Debug("request", "id", env.ID, "kind", kind)
+	}
+
+	// Replication streams hold their handler goroutine for the life of the
+	// subscription; everything about them is handled apart.
+	if kind == wire.KindReplSubscribe {
+		return s.handleReplSubscribe(ctx, cs, env)
+	}
+	// A follower answers mutations and training by relaying them to the
+	// leader — before local admission, which the leader applies itself
+	// against the forwarded bearer token.
+	if s.forward != nil && forwarded(kind) {
+		return s.forwardRequest(ctx, cs, env)
 	}
 
 	// Per-tenant admission: repository-scoped requests count against the

@@ -273,8 +273,19 @@ func Sentinel(code int) error {
 // Response payloads.
 type (
 	// HelloResp answers a Hello with the version the server selected.
+	// The remaining fields describe the node's replication role — the
+	// router's health probe reads them to prefer caught-up replicas. Gob
+	// tolerates missing fields, so peers predating replication see a
+	// zero Role and everything interoperates.
 	HelloResp struct {
 		Version int
+		// Role is "leader", "follower" or empty (replication not enabled).
+		Role string
+		// CaughtUp reports whether a follower is connected to its leader
+		// with no received-but-unapplied records (always true on a leader).
+		CaughtUp bool
+		// LagNanos is the follower's last observed replication lag.
+		LagNanos int64
 	}
 	// Ack acknowledges a mutation; Err is empty on success. Code classifies
 	// the error (ErrCode* constants) and RetryAfterNanos, when positive,

@@ -177,18 +177,6 @@ func OpenService(opts ServiceOptions) (*Service, *RecoveryReport, error) {
 	return core.OpenService(opts)
 }
 
-// NewService creates an in-process, in-memory MIE server component.
-//
-// Deprecated: use OpenService(ServiceOptions{}); NewService remains as a
-// thin wrapper for existing embedded callers.
-func NewService() *Service {
-	svc, _, err := core.OpenService(core.ServiceOptions{})
-	if err != nil {
-		panic(err) // unreachable: in-memory open cannot fail
-	}
-	return svc
-}
-
 // DecryptObject recovers a plaintext object from a hit's ciphertext using
 // its data key.
 func DecryptObject(ciphertext []byte, dataKey DataKey) (*Object, error) {
@@ -291,7 +279,10 @@ func Open(ctx context.Context, opts Options) (Repository, error) {
 func openLocal(opts Options) (Repository, error) {
 	svc := opts.Service
 	if svc == nil {
-		svc = NewService()
+		var err error
+		if svc, _, err = core.OpenService(core.ServiceOptions{}); err != nil {
+			return nil, err
+		}
 	}
 	existed := false
 	if opts.Create {
@@ -532,21 +523,7 @@ func Serve(addr string, svc *Service) (*server.Server, error) {
 
 // SaveService snapshots every hosted repository into dir (one file each,
 // written via fsync+rename and pruned of dropped repositories) and rotates
-// each repository's write-ahead log; LoadService restores them. Together
-// they give an embedded deployment the same crash safety cmd/mie-server's
-// -data-dir flag provides.
+// each repository's write-ahead log; OpenService(ServiceOptions{Dir: dir})
+// restores them. Together they give an embedded deployment the same crash
+// safety cmd/mie-server's -data-dir flag provides.
 func SaveService(svc *Service, dir string) error { return core.SaveService(svc, dir) }
-
-// LoadService restores a Service from a data directory written by
-// SaveService: each repository's snapshot is loaded and its write-ahead log
-// replayed on top, and the returned service keeps logging new mutations
-// there (fsync on every acknowledged write). A fresh (nonexistent)
-// directory yields an empty durable service.
-//
-// Deprecated: use OpenService(ServiceOptions{Dir: dir}), which also
-// returns the recovery report and unlocks lazy activation, memory budgets
-// and tenant quotas.
-func LoadService(dir string) (*Service, error) {
-	svc, _, err := core.OpenService(core.ServiceOptions{Dir: dir})
-	return svc, err
-}

@@ -22,7 +22,7 @@ go build ./...
 # logs.
 # The goroutine-leak sentinel (internal/leakcheck) must stay wired into the
 # connection-lifecycle tests; a silent drop would let Close-path leaks pass.
-for pkg in internal/server internal/client; do
+for pkg in internal/server internal/client internal/replica internal/router; do
     if ! grep -q "leakcheck.Check" "$pkg"/*_test.go; then
         echo "check.sh: $pkg tests no longer use the leakcheck sentinel" >&2
         exit 1
@@ -31,9 +31,10 @@ done
 
 # Layering gate first and by name: the segmented-index refactor depends on
 # core/index/cluster staying free of transport imports (and index/cluster
-# free of upward imports). The full suite runs these too, but a fast,
+# free of upward imports), and the scale-out tier on replica/router never
+# reaching into the server. The full suite runs these too, but a fast,
 # explicit failure here names the broken boundary instead of burying it.
-go test -run 'TestEngineLayersDoNotImportTransport|TestIndexAndClusterDoNotImportCore' ./internal/core
+go test -run 'TestEngineLayersDoNotImportTransport|TestIndexAndClusterDoNotImportCore|TestReplicationTierImportBoundaries' ./internal/core
 
 go test -race -shuffle=on -cover ./...
 
@@ -99,6 +100,38 @@ if [ "$TENANCYSMOKE" != "0" ]; then
     fi
 fi
 
+# Cluster smoke (~seconds at quick scale): a 2-node WAL-shipping cluster
+# behind the consistent-hash router, with a leader kill and restart in the
+# middle of an acknowledged-write ledger. Zero acknowledged writes may be
+# lost and leader/follower search results must be identical after catch-up.
+# CLUSTERSMOKE=0 skips.
+CLUSTERSMOKE="${CLUSTERSMOKE:-1}"
+if [ "$CLUSTERSMOKE" != "0" ]; then
+    cluster_out=$(go run ./cmd/mie-bench -scale quick -experiment none -obs-out "" \
+        -cluster -cluster-out "")
+    echo "$cluster_out"
+    cluster_sum=$(echo "$cluster_out" | sed -n 's/^cluster: //p')
+    if [ -z "$cluster_sum" ]; then
+        echo "check.sh: cluster smoke produced no summary line" >&2
+        exit 1
+    fi
+    cl_lost=$(echo "$cluster_sum" | sed -n 's/.*lost_acks=\([0-9]*\).*/\1/p')
+    cl_parity=$(echo "$cluster_sum" | sed -n 's/.*parity=\([a-zA-Z]*\).*/\1/p')
+    cl_kills=$(echo "$cluster_sum" | sed -n 's/.*leader_kills=\([0-9]*\).*/\1/p')
+    if [ "$cl_lost" != "0" ]; then
+        echo "check.sh: cluster smoke lost $cl_lost acknowledged writes across a leader kill" >&2
+        exit 1
+    fi
+    if [ "$cl_parity" != "ok" ]; then
+        echo "check.sh: cluster smoke leader/follower search parity broken" >&2
+        exit 1
+    fi
+    if [ "$cl_kills" = "0" ]; then
+        echo "check.sh: cluster smoke never killed the leader — the failover phase did not run" >&2
+        exit 1
+    fi
+fi
+
 # Fuzz smoke over the decoders that face untrusted or crash-damaged input:
 # wire frames arriving off the network and WAL bytes read back after a
 # crash must fail cleanly, never panic. FUZZTIME=0 skips (corpus-only
@@ -107,6 +140,7 @@ FUZZTIME="${FUZZTIME:-30s}"
 if [ "$FUZZTIME" != "0" ]; then
     go test -run='^$' -fuzz=FuzzReadFrame -fuzztime="$FUZZTIME" ./internal/wire
     go test -run='^$' -fuzz=FuzzEnvelopeDecode -fuzztime="$FUZZTIME" ./internal/wire
+    go test -run='^$' -fuzz=FuzzReplRecordDecode -fuzztime="$FUZZTIME" ./internal/wire
     go test -run='^$' -fuzz=FuzzWALReplay -fuzztime="$FUZZTIME" ./internal/wal
 fi
 
